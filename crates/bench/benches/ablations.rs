@@ -1,0 +1,40 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! firm vs run-to-completion deadlines, RU-heuristic initialization, and
+//! the two-phase-sort variant.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("firm_deadlines", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::baseline(0.06);
+            cfg.duration_secs = 600.0;
+            black_box(run_simulation(cfg, make_policy("PMM")))
+        })
+    });
+    g.bench_function("run_to_completion", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::baseline(0.06);
+            cfg.duration_secs = 600.0;
+            cfg.firm_deadlines = false;
+            black_box(run_simulation(cfg, make_policy("PMM")))
+        })
+    });
+    g.bench_function("two_phase_sorts", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::sorts(0.10);
+            cfg.duration_secs = 600.0;
+            cfg.resources.exec.always_two_phase_sort = true;
+            black_box(run_simulation(cfg, make_policy("MinMax")))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

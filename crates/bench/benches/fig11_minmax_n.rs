@@ -1,0 +1,24 @@
+//! Figure 11 family: MinMax-N at λ = 0.07 on 6 disks, sweeping N.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_minmax_n");
+    g.sample_size(10);
+    for n in [2u32, 6, 10, 20] {
+        g.bench_function(format!("MinMax-{n}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::disk_contention(0.07);
+                cfg.duration_secs = 600.0;
+                black_box(run_simulation(cfg, make_policy(&format!("MinMax-{n}"))))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

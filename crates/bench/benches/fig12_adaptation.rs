@@ -1,0 +1,25 @@
+//! Figures 12–15 family: the alternating Small/Medium workload, one phase
+//! switch per iteration so the change-detection path is exercised.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_adaptation");
+    g.sample_size(10);
+    for policy in ["Max", "MinMax", "PMM"] {
+        g.bench_function(format!("{policy}@alternating"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::workload_changes();
+                cfg.duration_secs = 1_200.0;
+                black_box(run_simulation(cfg, make_policy(policy)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 16 family: the external-sort workload.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_sorts");
+    g.sample_size(10);
+    for policy in ["Max", "MinMax", "PMM"] {
+        g.bench_function(format!("{policy}@0.10"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::sorts(0.10);
+                cfg.duration_secs = 600.0;
+                black_box(run_simulation(cfg, make_policy(policy)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figures 17/18 family: Small + Medium classes concurrently on 12 disks.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_multiclass");
+    g.sample_size(10);
+    for small_rate in [0.2f64, 0.8] {
+        g.bench_function(format!("PMM@small={small_rate}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::multiclass(small_rate);
+                cfg.duration_secs = 600.0;
+                black_box(run_simulation(cfg, make_policy("PMM")))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

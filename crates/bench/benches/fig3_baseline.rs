@@ -1,0 +1,26 @@
+//! Figure 3/4/5 family: the baseline sweep. Each benchmark iteration runs
+//! a 600-simulated-second slice of one (policy, rate) cell; the shape data
+//! itself is produced by `--bin experiments -- fig3 --secs 36000`.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_baseline");
+    g.sample_size(10);
+    for policy in ["Max", "MinMax", "Proportional", "PMM"] {
+        g.bench_function(format!("{policy}@0.06"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::baseline(0.06);
+                cfg.duration_secs = 600.0;
+                black_box(run_simulation(cfg, make_policy(policy)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8/9/10 family: the moderate-disk-contention sweep (6 disks).
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_contention");
+    g.sample_size(10);
+    for policy in ["Max", "MinMax", "MinMax-2", "PMM"] {
+        g.bench_function(format!("{policy}@0.06x6disks"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::disk_contention(0.06);
+                cfg.duration_secs = 600.0;
+                black_box(run_simulation(cfg, make_policy(policy)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

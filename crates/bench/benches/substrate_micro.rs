@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the substrates: event calendar, RNG, disk service
+//! model, the operators' state machines, and the least-squares fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::exec::{Action, ExecConfig, HashJoin, Operator};
+use pmm_core::simkit::{Calendar, Rng, SimTime};
+use pmm_core::stats::QuadFit;
+use pmm_core::storage::{DiskGeometry, FileId};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("calendar_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime(i * 37 % 100_000 + 100_000), i);
+            }
+            let mut n = 0;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("rng_exponential_10k", |b| {
+        let mut rng = Rng::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exponential(0.07);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("disk_access_time", |b| {
+        let g = DiskGeometry::default();
+        b.iter(|| black_box(g.access_time(black_box(123), black_box(6))))
+    });
+    c.bench_function("pphj_full_drive_min_memory", |b| {
+        b.iter(|| {
+            let mut op = HashJoin::new(
+                ExecConfig::default(),
+                FileId::Relation(0),
+                600,
+                FileId::Relation(1),
+                3_000,
+            );
+            op.set_allocation(op.min_memory());
+            let mut steps = 0u64;
+            while op.step() != Action::Finished {
+                steps += 1;
+            }
+            black_box(steps)
+        })
+    });
+    c.bench_function("quadfit_add_solve", |b| {
+        b.iter(|| {
+            let mut fit = QuadFit::new();
+            for i in 0..100 {
+                let x = i as f64;
+                fit.add(x, 0.1 + 0.01 * (x - 10.0) * (x - 10.0));
+            }
+            black_box(fit.solve())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

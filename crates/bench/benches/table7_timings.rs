@@ -1,0 +1,27 @@
+//! Table 7 family: the timing breakdown comes from the same baseline runs;
+//! this bench times the measurement pipeline end to end at the three rates
+//! the table reports.
+
+use bench::make_policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_timings");
+    g.sample_size(10);
+    for rate in [0.04f64, 0.06, 0.08] {
+        g.bench_function(format!("MinMax@{rate}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::baseline(rate);
+                cfg.duration_secs = 600.0;
+                let r = run_simulation(cfg, make_policy("MinMax"));
+                black_box((r.timings.waiting, r.timings.execution, r.timings.response))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

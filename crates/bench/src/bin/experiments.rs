@@ -1,0 +1,151 @@
+//! `experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all [--secs N]
+//! cargo run --release -p bench --bin experiments -- fig3 --secs 36000
+//! ```
+//!
+//! Artifacts: fig3 fig4 fig5 table7 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
+
+use bench::*;
+
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().cloned().unwrap_or_else(|| "all".into());
+    let secs = args
+        .iter()
+        .position(|a| a == "--secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_600.0);
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("fig3") || run("fig4") || run("fig5") || run("table7") || run("fig7") {
+        let rows = baseline_sweep(secs);
+        print!("{}", render_sweep("Figure 3: Miss Ratio (Baseline)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
+        print!("{}", render_sweep("Figure 4: Disk Utilization (Baseline)", "rate q/s", &rows, |r| 100.0 * r.disk_util, "% busy"));
+        print!("{}", render_sweep("Figure 5: Average MPL (Baseline)", "rate q/s", &rows, |r| r.avg_mpl, "queries"));
+        print!("{}", render_sweep("Figure 7: Memory Fluctuations (Baseline)", "rate q/s", &rows, |r| r.avg_fluctuations, "changes/query"));
+        println!("== Table 7: Average Timings (seconds) ==");
+        for row in rows.iter().filter(|r| [0.04, 0.06, 0.08].contains(&r.x)) {
+            println!("arrival rate {:.2}:", row.x);
+            println!("  {:<14} {:>9} {:>10} {:>9}", "algorithm", "waiting", "execution", "total");
+            for (name, r) in &row.reports {
+                println!(
+                    "  {:<14} {:>9.1} {:>10.1} {:>9.1}",
+                    name, r.timings.waiting, r.timings.execution, r.timings.response
+                );
+            }
+        }
+        println!();
+    }
+
+    if run("fig6") {
+        let r = fig6(secs);
+        println!("== Figure 6: PMM target MPL trace (baseline, λ = 0.075) ==");
+        println!("{:>10} {:>8} {:>10}", "t (s)", "mode", "target MPL");
+        for p in &r.trace {
+            println!(
+                "{:>10.0} {:>8} {:>10}",
+                p.at.as_secs_f64(),
+                p.mode.to_string(),
+                p.target_mpl.map_or("-".into(), |m| m.to_string())
+            );
+        }
+        println!("final miss ratio: {:.1}%\n", r.miss_pct());
+    }
+
+    if run("fig8") || run("fig9") || run("fig10") {
+        let rows = contention_sweep(secs, 2);
+        print!("{}", render_sweep("Figure 8: Miss Ratio (Disk Contention, 6 disks)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
+        print!("{}", render_sweep("Figure 9: Disk Utilization (Disk Contention)", "rate q/s", &rows, |r| 100.0 * r.disk_util, "% busy"));
+        print!("{}", render_sweep("Figure 10: Average MPL (Disk Contention)", "rate q/s", &rows, |r| r.avg_mpl, "queries"));
+    }
+
+    if run("fig11") {
+        println!("== Figure 11: MinMax-N sweep (λ = 0.07, 6 disks) ==");
+        println!("{:>5} {:>10} {:>8} {:>10}", "N", "miss %", "MPL", "disk util");
+        for (n, r) in fig11(secs, &[2, 3, 4, 6, 8, 10, 15, 20]) {
+            println!("{:>5} {:>10.1} {:>8.1} {:>10.2}", n, r.miss_pct(), r.avg_mpl, r.disk_util);
+        }
+        println!();
+    }
+
+    if run("fig12_14") || run("fig15") {
+        let reports = workload_changes(if what == "all" { Some(secs.max(7_200.0)) } else { None });
+        for (name, r) in &reports {
+            println!("== Figures 12–14: {name} miss-ratio time series (workload changes) ==");
+            println!("{:>10} {:>8} {:>8} {:>8}", "t (s)", "served", "missed", "miss %");
+            for w in &r.windows {
+                println!("{:>10.0} {:>8} {:>8} {:>8.1}", w.t_secs, w.served, w.missed, w.miss_pct());
+            }
+            println!("overall: {:.1}%", r.miss_pct());
+            for c in &r.classes {
+                println!("  class {:<8} served {:>5}  miss {:>5.1}%", c.name, c.served, c.miss_pct());
+            }
+            if name == "PMM" {
+                println!("== Figure 15: PMM MPL trace (workload changes) ==");
+                for p in &r.trace {
+                    println!(
+                        "{:>10.0} {:>8} {:>10}",
+                        p.at.as_secs_f64(),
+                        p.mode.to_string(),
+                        p.target_mpl.map_or("-".into(), |m| m.to_string())
+                    );
+                }
+            }
+            println!();
+        }
+    }
+
+    if run("fig16") {
+        let rows = fig16(secs);
+        print!("{}", render_sweep("Figure 16: Miss Ratio (External Sort)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
+    }
+
+    if run("fig17") || run("fig18") {
+        let rows = multiclass_sweep(secs);
+        print!("{}", render_sweep("Figure 17: System Miss Ratio (Multiclass)", "Small q/s", &rows, |r| r.miss_pct(), "% missed"));
+        println!("== Figure 18: Class Miss Ratios under PMM (Multiclass) ==");
+        println!("{:>10} {:>10} {:>10}", "Small q/s", "Medium %", "Small %");
+        for row in &rows {
+            let pmm = row.reports.iter().find(|(n, _)| n == "PMM").expect("PMM ran");
+            let med = pmm.1.classes.first().map_or(0.0, |c| c.miss_pct());
+            let small = pmm.1.classes.get(1).map_or(0.0, |c| c.miss_pct());
+            println!("{:>10.2} {:>10.1} {:>10.1}", row.x, med, small);
+        }
+        println!();
+    }
+
+    if run("util_low") {
+        println!("== Section 5.4: PMM sensitivity to UtilLow (baseline, λ = 0.07) ==");
+        println!("{:>8} {:>10}", "UtilLow", "miss %");
+        for (ul, r) in util_low_sensitivity(secs) {
+            println!("{:>8.2} {:>10.1}", ul, r.miss_pct());
+        }
+        println!();
+    }
+
+    if run("scale") {
+        println!("== Section 5.7: scale-down check (sizes ÷10, rates ×10) ==");
+        println!("{:<8} {:>12} {:>12}", "policy", "full miss %", "small miss %");
+        for (name, full, small) in scale_check(secs) {
+            println!("{:<8} {:>12.1} {:>12.1}", name, full.miss_pct(), small.miss_pct());
+        }
+        println!();
+    }
+
+    if run("ablation") {
+        println!("== Ablation: firm vs run-to-completion deadlines (PMM, λ = 0.06) ==");
+        for (firm, r) in ablation_firm_deadlines(secs) {
+            println!(
+                "  firm={:<5} miss {:>5.1}%  exec {:>6.1}s  MPL {:>4.1}",
+                firm, r.miss_pct(), r.timings.execution, r.avg_mpl
+            );
+        }
+        println!();
+    }
+}

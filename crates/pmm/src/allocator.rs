@@ -1,0 +1,303 @@
+//! The memory-division algorithms (Section 3.2 and Table 5), as pure
+//! functions from `(queries, total memory)` to per-query page grants.
+//!
+//! All three honor Earliest Deadline strictly: queries are considered in
+//! deadline order and a query that cannot be served does not let a
+//! lower-priority query overtake it (priority inversion through memory is
+//! exactly what the paper's policies are designed to avoid).
+
+use crate::types::{QueryDemand, QueryId};
+
+/// Grants for the supplied queries; queries absent from the map receive no
+/// memory (they wait, or are suspended).
+pub type Grants = Vec<(QueryId, u32)>;
+
+/// Sort a copy of the demands in ED order (deadline, then id for a stable
+/// tie-break).
+fn ed_order(queries: &[QueryDemand]) -> Vec<QueryDemand> {
+    let mut sorted = queries.to_vec();
+    sorted.sort_by_key(|q| (q.deadline, q.id));
+    sorted
+}
+
+/// **Max** strategy: in ED order, each query gets its maximum demand or the
+/// admission stops. No explicit MPL limit — memory itself is the limiter.
+pub fn max_allocate(queries: &[QueryDemand], total: u32) -> Grants {
+    let mut grants = Grants::new();
+    let mut free = total;
+    for q in ed_order(queries) {
+        if q.max_mem <= free {
+            free -= q.max_mem;
+            grants.push((q.id, q.max_mem));
+        } else {
+            break; // strict ED: nobody overtakes a blocked urgent query
+        }
+    }
+    grants
+}
+
+/// **MinMax-N** strategy: admit the `limit` most urgent queries (all of
+/// them when `limit` is `None`, i.e. MinMax-∞). Pass one hands every
+/// admitted query its minimum; pass two tops allocations up to the maximum
+/// in ED order until memory runs out. The query on the boundary may end up
+/// anywhere between its minimum and maximum (Section 3.2).
+pub fn minmax_allocate(queries: &[QueryDemand], total: u32, limit: Option<u32>) -> Grants {
+    let sorted = ed_order(queries);
+    let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    // Pass 1: minimums, in priority order, stopping when memory or the MPL
+    // limit is exhausted.
+    let mut grants = Grants::new();
+    let mut free = total;
+    for q in sorted.iter().take(n) {
+        if q.min_mem <= free {
+            free -= q.min_mem;
+            grants.push((q.id, q.min_mem));
+        } else {
+            break;
+        }
+    }
+    // Pass 2: top up to the maximum, again in priority order.
+    for (i, grant) in grants.iter_mut().enumerate() {
+        let want = sorted[i].max_mem - grant.1;
+        let extra = want.min(free);
+        grant.1 += extra;
+        free -= extra;
+        if free == 0 {
+            break;
+        }
+    }
+    grants
+}
+
+/// **Proportional-N** strategy: admit like MinMax-N, but divide memory so
+/// every admitted query receives the same fraction of its maximum, subject
+/// to at least its minimum. The fraction is found by water-filling: queries
+/// whose proportional share would fall below their minimum are pinned at
+/// the minimum and the fraction is recomputed over the rest.
+pub fn proportional_allocate(queries: &[QueryDemand], total: u32, limit: Option<u32>) -> Grants {
+    let sorted = ed_order(queries);
+    let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    // Admission: maximal ED prefix whose minimums fit.
+    let mut admitted: Vec<&QueryDemand> = Vec::new();
+    let mut min_sum = 0u64;
+    for q in sorted.iter().take(n) {
+        if min_sum + q.min_mem as u64 <= total as u64 {
+            min_sum += q.min_mem as u64;
+            admitted.push(q);
+        } else {
+            break;
+        }
+    }
+    if admitted.is_empty() {
+        return Grants::new();
+    }
+    // Water-fill the common fraction.
+    let mut pinned = vec![false; admitted.len()];
+    let mut frac = 1.0f64;
+    for _ in 0..admitted.len() + 1 {
+        let pinned_mem: u64 = admitted
+            .iter()
+            .zip(&pinned)
+            .filter(|&(_, &p)| p)
+            .map(|(q, _)| q.min_mem as u64)
+            .sum();
+        let unpinned_max: u64 = admitted
+            .iter()
+            .zip(&pinned)
+            .filter(|&(_, &p)| !p)
+            .map(|(q, _)| q.max_mem as u64)
+            .sum();
+        if unpinned_max == 0 {
+            frac = 0.0;
+            break;
+        }
+        frac = ((total as u64 - pinned_mem) as f64 / unpinned_max as f64).min(1.0);
+        let mut newly_pinned = false;
+        for (i, q) in admitted.iter().enumerate() {
+            if !pinned[i] && (frac * q.max_mem as f64) < q.min_mem as f64 {
+                pinned[i] = true;
+                newly_pinned = true;
+            }
+        }
+        if !newly_pinned {
+            break;
+        }
+    }
+    admitted
+        .iter()
+        .zip(&pinned)
+        .map(|(q, &p)| {
+            let pages = if p {
+                q.min_mem
+            } else {
+                ((frac * q.max_mem as f64).floor() as u32).clamp(q.min_mem, q.max_mem)
+            };
+            (q.id, pages)
+        })
+        .collect()
+}
+
+/// Sum of granted pages (helper for invariant checks).
+pub fn granted_total(grants: &Grants) -> u64 {
+    grants.iter().map(|&(_, p)| p as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn q(id: u64, deadline: u64, min: u32, max: u32) -> QueryDemand {
+        QueryDemand {
+            id: QueryId(id),
+            deadline: SimTime(deadline),
+            min_mem: min,
+            max_mem: max,
+        }
+    }
+
+    #[test]
+    fn max_allocates_in_deadline_order() {
+        let queries = [q(1, 300, 37, 1321), q(2, 100, 37, 1321), q(3, 200, 37, 500)];
+        let grants = max_allocate(&queries, 2560);
+        // Query 2 (deadline 100) then query 3 (deadline 200, 500 pages).
+        assert_eq!(grants, vec![(QueryId(2), 1321), (QueryId(3), 500)]);
+    }
+
+    #[test]
+    fn max_blocks_rather_than_bypassing() {
+        // The urgent query needs 2000; only 1500 free after it would be
+        // blocked — the small later query must NOT overtake it.
+        let queries = [q(1, 100, 37, 2000), q(2, 200, 10, 100)];
+        let grants = max_allocate(&queries, 1500);
+        assert!(grants.is_empty(), "strict ED admits nothing here");
+    }
+
+    #[test]
+    fn max_fits_memory() {
+        let queries: Vec<_> = (0..10).map(|i| q(i, 100 + i, 37, 1321)).collect();
+        let grants = max_allocate(&queries, 2560);
+        assert_eq!(grants.len(), 1, "only one 1321-page query fits 2560 after two would exceed");
+        assert!(granted_total(&grants) <= 2560);
+    }
+
+    #[test]
+    fn minmax_two_pass_shape() {
+        // Paper: higher-priority queries end at their maximum, lower at
+        // their minimum, one boundary query in between.
+        let queries: Vec<_> = (0..5).map(|i| q(i, 100 + i, 37, 1321)).collect();
+        let grants = minmax_allocate(&queries, 2560, None);
+        assert_eq!(grants.len(), 5, "all five minimums fit (185 pages)");
+        // Query 0: topped to max (1321). Remaining: 2560-5*37=2375-1284=...
+        assert_eq!(grants[0], (QueryId(0), 1321));
+        // Query 1 gets the leftover top-up (boundary query).
+        let boundary = grants[1].1;
+        assert!((37..=1321).contains(&boundary));
+        // The rest stay at minimum.
+        assert_eq!(grants[2].1, 37);
+        assert_eq!(grants[3].1, 37);
+        assert_eq!(grants[4].1, 37);
+        assert_eq!(granted_total(&grants), 2560);
+    }
+
+    #[test]
+    fn minmax_respects_mpl_limit() {
+        let queries: Vec<_> = (0..8).map(|i| q(i, 100 + i, 10, 50)).collect();
+        let grants = minmax_allocate(&queries, 10_000, Some(3));
+        assert_eq!(grants.len(), 3);
+        // Plenty of memory: all three at max.
+        assert!(grants.iter().all(|&(_, p)| p == 50));
+    }
+
+    #[test]
+    fn minmax_unlimited_admits_while_minimums_fit() {
+        let queries: Vec<_> = (0..100).map(|i| q(i, 100 + i, 37, 1321)).collect();
+        let grants = minmax_allocate(&queries, 2560, None);
+        // 2560 / 37 = 69 — the paper's own number for the baseline.
+        assert_eq!(grants.len(), 69);
+        assert!(granted_total(&grants) <= 2560);
+    }
+
+    #[test]
+    fn minmax_never_exceeds_memory_or_max() {
+        let queries: Vec<_> = (0..20)
+            .map(|i| q(i, 1000 - i * 10, 5 + (i % 7) as u32, 100 + (i * 13) as u32))
+            .collect();
+        for m in [50u32, 200, 1000, 5000] {
+            let grants = minmax_allocate(&queries, m, None);
+            assert!(granted_total(&grants) <= m as u64);
+            for (id, pages) in &grants {
+                let demand = queries.iter().find(|d| d.id == *id).unwrap();
+                assert!(*pages >= demand.min_mem);
+                assert!(*pages <= demand.max_mem);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_equal_fractions() {
+        let queries = [q(1, 100, 10, 1000), q(2, 200, 10, 500)];
+        let grants = proportional_allocate(&queries, 750, None);
+        // frac = 750 / 1500 = 0.5 → 500 and 250.
+        assert_eq!(grants, vec![(QueryId(1), 500), (QueryId(2), 250)]);
+    }
+
+    #[test]
+    fn proportional_pins_minimums() {
+        // frac would give query 2 less than its minimum; it pins at min and
+        // query 1 absorbs the rest.
+        let queries = [q(1, 100, 10, 1000), q(2, 200, 90, 100)];
+        let grants = proportional_allocate(&queries, 500, None);
+        let g2 = grants.iter().find(|&&(id, _)| id == QueryId(2)).unwrap().1;
+        assert_eq!(g2, 90, "pinned at minimum");
+        let g1 = grants.iter().find(|&&(id, _)| id == QueryId(1)).unwrap().1;
+        // (500-90)/1000 = 0.41 → 410.
+        assert_eq!(g1, 410);
+    }
+
+    #[test]
+    fn proportional_caps_at_max() {
+        let queries = [q(1, 100, 10, 100), q(2, 200, 10, 100)];
+        let grants = proportional_allocate(&queries, 10_000, None);
+        assert!(grants.iter().all(|&(_, p)| p == 100));
+    }
+
+    #[test]
+    fn proportional_respects_limit_and_memory() {
+        let queries: Vec<_> = (0..50).map(|i| q(i, 100 + i, 37, 1321)).collect();
+        let grants = proportional_allocate(&queries, 2560, Some(10));
+        assert!(grants.len() <= 10);
+        assert!(granted_total(&grants) <= 2560);
+        for (_, p) in &grants {
+            assert!(*p >= 37);
+        }
+    }
+
+    #[test]
+    fn all_strategies_handle_empty_input() {
+        assert!(max_allocate(&[], 1000).is_empty());
+        assert!(minmax_allocate(&[], 1000, None).is_empty());
+        assert!(proportional_allocate(&[], 1000, Some(5)).is_empty());
+    }
+
+    #[test]
+    fn deadline_ties_break_by_id() {
+        let queries = [q(2, 100, 10, 600), q(1, 100, 10, 600)];
+        let grants = max_allocate(&queries, 600);
+        assert_eq!(grants[0].0, QueryId(1));
+    }
+
+    #[test]
+    fn minmax_ed_shift_on_urgent_arrival() {
+        // A newly arrived urgent query displaces top-up memory from the
+        // formerly highest-priority query.
+        let mut queries = vec![q(1, 500, 37, 1321), q(2, 600, 37, 1321)];
+        let before = minmax_allocate(&queries, 1500, None);
+        assert_eq!(before[0], (QueryId(1), 1321));
+        queries.push(q(3, 100, 37, 1321));
+        let after = minmax_allocate(&queries, 1500, None);
+        assert_eq!(after[0], (QueryId(3), 1321), "urgent query gets the max");
+        let g1 = after.iter().find(|&&(id, _)| id == QueryId(1)).unwrap().1;
+        assert!(g1 < 1321, "old leader gives up its top-up");
+    }
+}

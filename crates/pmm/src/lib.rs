@@ -1,0 +1,29 @@
+//! `pmm` — Priority Memory Management for firm real-time query workloads.
+//!
+//! This crate is the paper's primary contribution: the PMM algorithm
+//! ([`adaptive::Pmm`]) plus the static algorithms it is evaluated against
+//! (Table 5: [`policy::MaxPolicy`], [`policy::MinMaxPolicy`],
+//! [`policy::ProportionalPolicy`]).
+//!
+//! The pieces:
+//!
+//! * [`allocator`] — the ED-ordered memory-division functions (Max,
+//!   two-pass MinMax, water-filled Proportional).
+//! * [`policy`] — the [`policy::MemoryPolicy`] trait the simulator drives,
+//!   and the static policies.
+//! * [`adaptive`] — PMM itself: miss-ratio projection, the resource
+//!   utilization heuristic, strategy switching, and workload-change
+//!   detection.
+//! * [`types`] — snapshot / feedback types shared with the simulator.
+
+pub mod adaptive;
+pub mod allocator;
+pub mod policy;
+pub mod types;
+
+pub use adaptive::{Pmm, PmmParams};
+pub use allocator::{max_allocate, minmax_allocate, proportional_allocate, Grants};
+pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};
+pub use types::{
+    BatchStats, QueryDemand, QueryId, StrategyMode, SystemSnapshot, TracePoint,
+};

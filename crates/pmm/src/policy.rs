@@ -1,0 +1,191 @@
+//! The policy interface and the static baseline algorithms of Table 5.
+
+use crate::allocator::{max_allocate, minmax_allocate, proportional_allocate, Grants};
+use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
+
+/// A memory-management policy: the simulator consults it whenever the set
+/// of live queries changes and feeds it batch statistics every `SampleSize`
+/// completions.
+pub trait MemoryPolicy {
+    /// Short name for reports, e.g. `"MinMax-10"`.
+    fn name(&self) -> String;
+
+    /// Desired allocation for every live query; omitted queries receive no
+    /// memory.
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants;
+
+    /// Batch boundary callback (adaptive policies learn here).
+    fn on_batch(&mut self, _stats: &BatchStats) {}
+
+    /// Current MPL limit, if the policy imposes one.
+    fn target_mpl(&self) -> Option<u32> {
+        None
+    }
+
+    /// The allocation strategy currently in force.
+    fn mode(&self) -> StrategyMode;
+
+    /// Decision trace for Figures 6 and 15 (adaptive policies only).
+    fn trace(&self) -> &[TracePoint] {
+        &[]
+    }
+}
+
+/// The static **Max** algorithm.
+#[derive(Default)]
+pub struct MaxPolicy;
+
+impl MemoryPolicy for MaxPolicy {
+    fn name(&self) -> String {
+        "Max".into()
+    }
+
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
+        max_allocate(&snapshot.queries, snapshot.total_memory)
+    }
+
+    fn mode(&self) -> StrategyMode {
+        StrategyMode::Max
+    }
+}
+
+/// The static **MinMax-N** algorithm (`None` = MinMax-∞, written plain
+/// "MinMax" in the paper).
+pub struct MinMaxPolicy {
+    limit: Option<u32>,
+}
+
+impl MinMaxPolicy {
+    /// MinMax with an MPL limit.
+    pub fn with_limit(n: u32) -> Self {
+        MinMaxPolicy { limit: Some(n) }
+    }
+
+    /// MinMax-∞.
+    pub fn unlimited() -> Self {
+        MinMaxPolicy { limit: None }
+    }
+}
+
+impl MemoryPolicy for MinMaxPolicy {
+    fn name(&self) -> String {
+        match self.limit {
+            Some(n) => format!("MinMax-{n}"),
+            None => "MinMax".into(),
+        }
+    }
+
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
+        minmax_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
+    }
+
+    fn target_mpl(&self) -> Option<u32> {
+        self.limit
+    }
+
+    fn mode(&self) -> StrategyMode {
+        StrategyMode::MinMax
+    }
+}
+
+/// The static **Proportional-N** algorithm (`None` = Proportional-∞).
+pub struct ProportionalPolicy {
+    limit: Option<u32>,
+}
+
+impl ProportionalPolicy {
+    /// Proportional with an MPL limit.
+    pub fn with_limit(n: u32) -> Self {
+        ProportionalPolicy { limit: Some(n) }
+    }
+
+    /// Proportional-∞.
+    pub fn unlimited() -> Self {
+        ProportionalPolicy { limit: None }
+    }
+}
+
+impl MemoryPolicy for ProportionalPolicy {
+    fn name(&self) -> String {
+        match self.limit {
+            Some(n) => format!("Proportional-{n}"),
+            None => "Proportional".into(),
+        }
+    }
+
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
+        proportional_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
+    }
+
+    fn target_mpl(&self) -> Option<u32> {
+        self.limit
+    }
+
+    fn mode(&self) -> StrategyMode {
+        StrategyMode::Proportional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueryDemand, QueryId};
+    use simkit::SimTime;
+
+    fn snapshot(n: u64) -> SystemSnapshot {
+        SystemSnapshot {
+            now: SimTime::ZERO,
+            total_memory: 2560,
+            queries: (0..n)
+                .map(|i| QueryDemand {
+                    id: QueryId(i),
+                    deadline: SimTime(100 + i),
+                    min_mem: 37,
+                    max_mem: 1321,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MaxPolicy.name(), "Max");
+        assert_eq!(MinMaxPolicy::unlimited().name(), "MinMax");
+        assert_eq!(MinMaxPolicy::with_limit(10).name(), "MinMax-10");
+        assert_eq!(ProportionalPolicy::unlimited().name(), "Proportional");
+        assert_eq!(ProportionalPolicy::with_limit(4).name(), "Proportional-4");
+    }
+
+    #[test]
+    fn max_policy_admits_one_baseline_query() {
+        let mut p = MaxPolicy;
+        let grants = p.allocate(&snapshot(5));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].1, 1321);
+    }
+
+    #[test]
+    fn minmax_policy_admits_many() {
+        let mut p = MinMaxPolicy::unlimited();
+        let grants = p.allocate(&snapshot(80));
+        assert_eq!(grants.len(), 69);
+    }
+
+    #[test]
+    fn limits_are_reported() {
+        assert_eq!(MinMaxPolicy::with_limit(10).target_mpl(), Some(10));
+        assert_eq!(MinMaxPolicy::unlimited().target_mpl(), None);
+        assert_eq!(MaxPolicy.target_mpl(), None);
+    }
+
+    #[test]
+    fn proportional_spreads_memory() {
+        let mut p = ProportionalPolicy::unlimited();
+        let grants = p.allocate(&snapshot(4));
+        assert_eq!(grants.len(), 4);
+        // 2560 / (4 × 1321) ≈ 0.48 of max each, > min.
+        for (_, pages) in &grants {
+            assert!((400..=700).contains(pages), "grant {pages}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Simulation configuration: the database, workload, and physical resource
+//! models of Section 4 (Tables 2 and 3), plus the paper's experiment
+//! presets.
+
+use exec::ExecConfig;
+use storage::{DiskGeometry, RelationGroupSpec};
+
+/// Physical resources (Table 3).
+#[derive(Clone, Copy, Debug)]
+pub struct ResourceConfig {
+    /// `CPUSpeed` in MIPS (default 40).
+    pub cpu_mips: f64,
+    /// `NumDisks` (default 10).
+    pub num_disks: u32,
+    /// `M` — total buffer pool size in pages (default 2560 = 20 MB).
+    pub memory_pages: u32,
+    /// Disk geometry (seek factor, rotation, cylinders, cache).
+    pub geometry: DiskGeometry,
+    /// Operator cost-model parameters (tuples/page, block size, fudge).
+    pub exec: ExecConfig,
+}
+
+impl Default for ResourceConfig {
+    fn default() -> Self {
+        ResourceConfig {
+            cpu_mips: 40.0,
+            num_disks: 10,
+            memory_pages: 2560,
+            geometry: DiskGeometry::default(),
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// What kind of queries a workload class issues (Table 2, `QueryType_j`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryType {
+    /// Hash joins: one relation drawn from each listed group; the smaller
+    /// becomes the inner (build) relation R.
+    HashJoin {
+        /// The two operand relation groups (`RelGroup_j`).
+        groups: (u32, u32),
+    },
+    /// External sorts over one relation from `group`.
+    ExternalSort {
+        /// The operand relation group.
+        group: u32,
+    },
+}
+
+/// One workload class (Table 2).
+#[derive(Clone, Debug)]
+pub struct WorkloadClass {
+    /// Label for reports ("Medium", "Small", ...).
+    pub name: String,
+    /// Join or sort, and over which relation groups.
+    pub query_type: QueryType,
+    /// Poisson arrival rate λ in queries/second.
+    pub arrival_rate: f64,
+    /// `SRInterval_j` — slack ratios drawn uniformly from this range.
+    pub slack_range: (f64, f64),
+}
+
+/// Alternating-workload schedule for the Section 5.3 experiment: phase `i`
+/// lasts `phases[i].0` seconds with only the listed classes active; the
+/// schedule repeats cyclically.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseSchedule {
+    /// `(duration_secs, active class indices)` per phase.
+    pub phases: Vec<(f64, Vec<usize>)>,
+}
+
+impl PhaseSchedule {
+    /// Which classes are active at simulated second `t`. With no phases,
+    /// every class is always active.
+    pub fn active_at(&self, t: f64, num_classes: usize) -> Vec<usize> {
+        if self.phases.is_empty() {
+            return (0..num_classes).collect();
+        }
+        let cycle: f64 = self.phases.iter().map(|p| p.0).sum();
+        let mut offset = t % cycle;
+        for (len, classes) in &self.phases {
+            if offset < *len {
+                return classes.clone();
+            }
+            offset -= len;
+        }
+        self.phases.last().expect("non-empty").1.clone()
+    }
+
+    /// True if `class` is active at `t`.
+    pub fn is_active(&self, t: f64, class: usize, num_classes: usize) -> bool {
+        self.active_at(t, num_classes).contains(&class)
+    }
+}
+
+/// A complete simulation setup.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Physical resources.
+    pub resources: ResourceConfig,
+    /// Relation groups (Table 2's database model).
+    pub database: Vec<RelationGroupSpec>,
+    /// Workload classes.
+    pub classes: Vec<WorkloadClass>,
+    /// Optional class-alternation schedule (Section 5.3).
+    pub schedule: PhaseSchedule,
+    /// Simulated run length in seconds (the paper runs 10 hours).
+    pub duration_secs: f64,
+    /// RNG master seed.
+    pub seed: u64,
+    /// `SampleSize` — completions per policy feedback batch.
+    pub sample_size: u32,
+    /// Window length for the miss-ratio time series (Figures 12–14).
+    pub window_secs: f64,
+    /// Firm deadlines: abort queries at their deadline (the paper's model).
+    /// Setting this false is the run-to-completion ablation.
+    pub firm_deadlines: bool,
+}
+
+impl SimConfig {
+    /// The Section 5.1 baseline: one Medium hash-join class, ‖R‖ drawn from
+    /// [600, 1800] (13 sizes per disk), ‖S‖ from [3000, 9000], slack
+    /// [2.5, 7.5], 10 disks, 2560 buffer pages.
+    pub fn baseline(arrival_rate: f64) -> Self {
+        SimConfig {
+            resources: ResourceConfig::default(),
+            database: vec![
+                RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
+                RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
+            ],
+            classes: vec![WorkloadClass {
+                name: "Medium".into(),
+                query_type: QueryType::HashJoin { groups: (0, 1) },
+                arrival_rate,
+                slack_range: (2.5, 7.5),
+            }],
+            schedule: PhaseSchedule::default(),
+            duration_secs: 36_000.0,
+            seed: 1994,
+            sample_size: 30,
+            window_secs: 1_200.0,
+            firm_deadlines: true,
+        }
+    }
+
+    /// Section 5.2: the baseline with disk contention — 6 disks.
+    pub fn disk_contention(arrival_rate: f64) -> Self {
+        let mut cfg = Self::baseline(arrival_rate);
+        cfg.resources.num_disks = 6;
+        cfg
+    }
+
+    /// The Small hash-join class of Table 8 (‖R‖ ∈ [50, 150],
+    /// ‖S‖ ∈ [250, 750]); group indices are relative to
+    /// [`SimConfig::workload_changes`]' database.
+    fn small_class(arrival_rate: f64) -> WorkloadClass {
+        WorkloadClass {
+            name: "Small".into(),
+            query_type: QueryType::HashJoin { groups: (2, 3) },
+            arrival_rate,
+            slack_range: (2.5, 7.5),
+        }
+    }
+
+    /// Section 5.3: alternating Small / Medium classes every 2–5 simulated
+    /// hours on 6 disks (Table 8: Medium λ = 0.07, Small λ = 2.8).
+    pub fn workload_changes() -> Self {
+        let mut cfg = Self::baseline(0.07);
+        cfg.resources.num_disks = 6;
+        cfg.database = vec![
+            RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (50, 150) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (250, 750) },
+        ];
+        cfg.classes.push(Self::small_class(2.8));
+        // Alternate Medium / Small with phase lengths in the paper's
+        // 2–5-hour range (deterministic so runs are reproducible).
+        cfg.schedule = PhaseSchedule {
+            phases: vec![
+                (9_000.0, vec![0]),  // Medium, 2.5 h
+                (14_400.0, vec![1]), // Small, 4 h
+                (10_800.0, vec![0]), // Medium, 3 h
+                (7_200.0, vec![1]),  // Small, 2 h
+                (12_600.0, vec![0]), // Medium, 3.5 h
+            ],
+        };
+        cfg.duration_secs = 79_200.0; // cover all five phases (22 h)
+        cfg
+    }
+
+    /// Section 5.6: Small and Medium active together; Medium fixed at
+    /// λ = 0.065, Small swept; 12 disks.
+    pub fn multiclass(small_rate: f64) -> Self {
+        let mut cfg = Self::baseline(0.065);
+        cfg.resources.num_disks = 12;
+        cfg.database = vec![
+            RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (50, 150) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (250, 750) },
+        ];
+        if small_rate > 0.0 {
+            cfg.classes.push(Self::small_class(small_rate));
+        }
+        cfg
+    }
+
+    /// Section 5.5: the baseline workload with external sorts instead of
+    /// joins (‖R‖ ∈ [600, 1800]).
+    pub fn sorts(arrival_rate: f64) -> Self {
+        let mut cfg = Self::baseline(arrival_rate);
+        cfg.classes = vec![WorkloadClass {
+            name: "Sort".into(),
+            query_type: QueryType::ExternalSort { group: 0 },
+            arrival_rate,
+            slack_range: (2.5, 7.5),
+        }];
+        cfg
+    }
+
+    /// Section 5.7: the disk-contention setup scaled down ×10 (relations
+    /// and memory ÷10, arrival rate ×10) — used to check scale invariance.
+    pub fn scaled_down(arrival_rate: f64) -> Self {
+        let mut cfg = Self::disk_contention(arrival_rate * 10.0);
+        cfg.resources.memory_pages = 256;
+        cfg.database = vec![
+            RelationGroupSpec { relations_per_disk: 3, size_range: (60, 180) },
+            RelationGroupSpec { relations_per_disk: 3, size_range: (300, 900) },
+        ];
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_tables() {
+        let cfg = SimConfig::baseline(0.06);
+        assert_eq!(cfg.resources.cpu_mips, 40.0);
+        assert_eq!(cfg.resources.num_disks, 10);
+        assert_eq!(cfg.resources.memory_pages, 2560);
+        assert_eq!(cfg.classes.len(), 1);
+        assert_eq!(cfg.sample_size, 30);
+        assert!(cfg.firm_deadlines);
+    }
+
+    #[test]
+    fn empty_schedule_means_always_active() {
+        let s = PhaseSchedule::default();
+        assert_eq!(s.active_at(12_345.0, 3), vec![0, 1, 2]);
+        assert!(s.is_active(0.0, 2, 3));
+    }
+
+    #[test]
+    fn schedule_cycles() {
+        let s = PhaseSchedule {
+            phases: vec![(100.0, vec![0]), (50.0, vec![1])],
+        };
+        assert_eq!(s.active_at(10.0, 2), vec![0]);
+        assert_eq!(s.active_at(120.0, 2), vec![1]);
+        // Wraps: 160 ≡ 10 (mod 150).
+        assert_eq!(s.active_at(160.0, 2), vec![0]);
+        assert!(!s.is_active(120.0, 0, 2));
+    }
+
+    #[test]
+    fn workload_changes_phases_cover_range() {
+        let cfg = SimConfig::workload_changes();
+        for (len, classes) in &cfg.schedule.phases {
+            assert!((7_200.0..=18_000.0).contains(len), "phase {len}s outside 2–5 h");
+            assert_eq!(classes.len(), 1, "one class at a time");
+        }
+        assert_eq!(cfg.resources.num_disks, 6);
+    }
+
+    #[test]
+    fn multiclass_includes_small_only_when_positive() {
+        assert_eq!(SimConfig::multiclass(0.0).classes.len(), 1);
+        assert_eq!(SimConfig::multiclass(0.4).classes.len(), 2);
+    }
+
+    #[test]
+    fn scaled_down_divides_sizes() {
+        let cfg = SimConfig::scaled_down(0.06);
+        assert_eq!(cfg.resources.memory_pages, 256);
+        assert_eq!(cfg.database[0].size_range, (60, 180));
+        assert!((cfg.classes[0].arrival_rate - 0.6).abs() < 1e-12);
+    }
+}

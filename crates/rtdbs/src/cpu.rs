@@ -1,0 +1,242 @@
+//! The CPU manager: a single CPU scheduled by preemptive-resume Earliest
+//! Deadline (Section 4.2: "The CPU ... is scheduled by the Earliest
+//! Deadline discipline").
+//!
+//! A running burst is preempted the instant a more urgent query becomes
+//! ready; the preempted burst keeps its progress and resumes when it again
+//! has the earliest deadline. Completion events are cancelled on preemption
+//! so no generation counters are needed.
+
+use crate::engine::Event;
+use pmm::QueryId;
+use simkit::calendar::EventHandle;
+use simkit::metrics::Utilization;
+use simkit::{Calendar, Duration, SimTime};
+use std::collections::BTreeMap;
+
+struct Running {
+    query: QueryId,
+    deadline: SimTime,
+    remaining_instr: f64,
+    started: SimTime,
+    handle: EventHandle,
+}
+
+/// The preemptive-ED CPU.
+pub struct CpuManager {
+    mips: f64,
+    running: Option<Running>,
+    /// Ready queue ordered by (deadline, query id) → remaining instructions.
+    ready: BTreeMap<(SimTime, QueryId), f64>,
+    /// Run-level and batch-level busy accounting.
+    pub util_run: Utilization,
+    pub util_batch: Utilization,
+}
+
+impl CpuManager {
+    /// A CPU rated at `mips` million instructions per second.
+    pub fn new(mips: f64, start: SimTime) -> Self {
+        assert!(mips > 0.0, "MIPS rating must be positive");
+        CpuManager {
+            mips,
+            running: None,
+            ready: BTreeMap::new(),
+            util_run: Utilization::new(start),
+            util_batch: Utilization::new(start),
+        }
+    }
+
+    fn burst_duration(&self, instructions: f64) -> Duration {
+        Duration::from_secs_f64(instructions / (self.mips * 1e6))
+    }
+
+    fn begin(&mut self, now: SimTime, query: QueryId, deadline: SimTime, instr: f64, cal: &mut Calendar<Event>) {
+        let handle = cal.schedule(now + self.burst_duration(instr), Event::CpuDone { query });
+        if self.running.is_none() {
+            self.util_run.begin_busy(now);
+            self.util_batch.begin_busy(now);
+        }
+        self.running = Some(Running {
+            query,
+            deadline,
+            remaining_instr: instr,
+            started: now,
+            handle,
+        });
+    }
+
+    /// Submit a CPU burst for `query`. Preempts the running burst if this
+    /// one is more urgent.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        query: QueryId,
+        deadline: SimTime,
+        instructions: u64,
+        cal: &mut Calendar<Event>,
+    ) {
+        let instr = instructions as f64;
+        match &self.running {
+            None => self.begin(now, query, deadline, instr, cal),
+            Some(run) if (deadline, query) < (run.deadline, run.query) => {
+                // Preempt: bank the incumbent's progress.
+                let run = self.running.take().expect("checked above");
+                cal.cancel(run.handle);
+                let executed = now.since(run.started).as_secs_f64() * self.mips * 1e6;
+                let left = (run.remaining_instr - executed).max(0.0);
+                self.ready.insert((run.deadline, run.query), left);
+                self.begin(now, query, deadline, instr, cal);
+            }
+            Some(_) => {
+                self.ready.insert((deadline, query), instr);
+            }
+        }
+    }
+
+    /// Handle a `CpuDone` event: the running burst finished. Returns the
+    /// finished query; the next ready burst (if any) is dispatched.
+    pub fn on_done(&mut self, now: SimTime, query: QueryId, cal: &mut Calendar<Event>) -> QueryId {
+        let run = self.running.take().expect("CpuDone with idle CPU");
+        debug_assert_eq!(run.query, query, "completion routed to wrong query");
+        self.util_run.end_busy(now);
+        self.util_batch.end_busy(now);
+        self.dispatch_next(now, cal);
+        query
+    }
+
+    fn dispatch_next(&mut self, now: SimTime, cal: &mut Calendar<Event>) {
+        if let Some((&(deadline, query), _)) = self.ready.iter().next() {
+            let instr = self.ready.remove(&(deadline, query)).expect("key exists");
+            self.begin(now, query, deadline, instr, cal);
+        }
+    }
+
+    /// Remove every trace of `query` (firm-deadline abort). If it was
+    /// running, the CPU immediately moves on to the next ready burst.
+    pub fn cancel(&mut self, now: SimTime, query: QueryId, cal: &mut Calendar<Event>) {
+        self.ready.retain(|&(_, q), _| q != query);
+        if self.running.as_ref().is_some_and(|r| r.query == query) {
+            let run = self.running.take().expect("checked");
+            cal.cancel(run.handle);
+            self.util_run.end_busy(now);
+            self.util_batch.end_busy(now);
+            self.dispatch_next(now, cal);
+        }
+    }
+
+    /// True if some burst is executing.
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Queries waiting for the CPU.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CpuManager, Calendar<Event>) {
+        (CpuManager::new(40.0, SimTime::ZERO), Calendar::new())
+    }
+
+    fn expect_done(cal: &mut Calendar<Event>) -> (SimTime, QueryId) {
+        match cal.pop() {
+            Some((t, Event::CpuDone { query })) => (t, query),
+            other => panic!("expected CpuDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_burst_timing() {
+        let (mut cpu, mut cal) = setup();
+        // 40 MIPS → 40 M instr takes 1 s.
+        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(100), 40_000_000, &mut cal);
+        let (t, q) = expect_done(&mut cal);
+        assert_eq!(q, QueryId(1));
+        assert_eq!(t, SimTime::from_secs(1));
+        cpu.on_done(t, q, &mut cal);
+        assert!(!cpu.is_busy());
+    }
+
+    #[test]
+    fn fifo_within_equal_priority_by_id() {
+        let (mut cpu, mut cal) = setup();
+        let d = SimTime::from_secs(100);
+        cpu.submit(SimTime::ZERO, QueryId(2), d, 40_000_000, &mut cal);
+        cpu.submit(SimTime::ZERO, QueryId(1), d, 40_000_000, &mut cal);
+        // Query 1 preempts query 2 (same deadline, lower id wins — a stable
+        // deterministic tie-break).
+        let (t, q) = expect_done(&mut cal);
+        assert_eq!(q, QueryId(1));
+        cpu.on_done(t, q, &mut cal);
+        let (t2, q2) = expect_done(&mut cal);
+        assert_eq!(q2, QueryId(2));
+        assert_eq!(t2, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn preemption_preserves_progress() {
+        let (mut cpu, mut cal) = setup();
+        // Query 9 (loose deadline) starts a 2 s burst.
+        cpu.submit(SimTime::ZERO, QueryId(9), SimTime::from_secs(1000), 80_000_000, &mut cal);
+        // At t = 0.5 s, urgent query 1 arrives with a 1 s burst.
+        let t_preempt = SimTime::from_secs_f64(0.5);
+        cpu.submit(t_preempt, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        // Query 1 finishes at 1.5 s.
+        let (t, q) = expect_done(&mut cal);
+        assert_eq!(q, QueryId(1));
+        assert_eq!(t, SimTime::from_secs_f64(1.5));
+        cpu.on_done(t, q, &mut cal);
+        // Query 9 resumes with 1.5 s of work left → finishes at 3.0 s.
+        let (t2, q2) = expect_done(&mut cal);
+        assert_eq!(q2, QueryId(9));
+        assert_eq!(t2, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn lower_priority_does_not_preempt() {
+        let (mut cpu, mut cal) = setup();
+        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(99), 40_000_000, &mut cal);
+        assert_eq!(cpu.ready_len(), 1);
+        let (_, q) = expect_done(&mut cal);
+        assert_eq!(q, QueryId(1));
+    }
+
+    #[test]
+    fn cancel_running_burst_dispatches_next() {
+        let (mut cpu, mut cal) = setup();
+        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(20), 40_000_000, &mut cal);
+        cpu.cancel(SimTime::from_secs_f64(0.25), QueryId(1), &mut cal);
+        // Query 1's completion was cancelled; query 2 runs 0.25 → 1.25 s.
+        let (t, q) = expect_done(&mut cal);
+        assert_eq!(q, QueryId(2));
+        assert_eq!(t, SimTime::from_secs_f64(1.25));
+    }
+
+    #[test]
+    fn cancel_ready_burst() {
+        let (mut cpu, mut cal) = setup();
+        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(20), 40_000_000, &mut cal);
+        cpu.cancel(SimTime::ZERO, QueryId(2), &mut cal);
+        assert_eq!(cpu.ready_len(), 0);
+        assert!(cpu.is_busy());
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let (mut cpu, mut cal) = setup();
+        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        let (t, q) = expect_done(&mut cal);
+        cpu.on_done(t, q, &mut cal);
+        // Busy 1 s out of 4.
+        let u = cpu.util_run.fraction(SimTime::from_secs(4));
+        assert!((u - 0.25).abs() < 1e-9, "util {u}");
+    }
+}

@@ -1,0 +1,815 @@
+//! The integrated RTDBS simulator (Section 4, Figure 2): Source, Query
+//! Manager, Buffer Manager, CPU Manager and Disk Manager wired together
+//! around one event calendar.
+//!
+//! The flow of one query: the **Source** draws its operand relation(s),
+//! slack ratio and Poisson arrival time, prices its stand-alone execution
+//! (for the deadline `Deadline = Arrival + StandAlone × SlackRatio`) and
+//! submits it. The **Buffer Manager** consults the configured
+//! [`MemoryPolicy`] for admission and memory allocation; granted queries are
+//! driven as operator state machines whose CPU bursts go to the preemptive
+//! ED **CPU Manager** and whose page I/Os go to the per-disk ED+elevator
+//! **Disk Manager** queues. Firm deadlines are enforced by an abort event:
+//! at its deadline an unfinished query is killed, its resources reclaimed,
+//! and it counts as missed (Section 3: in a firm RTDBS late queries are
+//! worthless).
+//!
+//! Every `SampleSize` served queries the engine assembles a
+//! [`pmm::BatchStats`] and feeds it to the policy — this is the feedback
+//! loop PMM's adaptation lives on.
+
+use crate::config::{QueryType, SimConfig};
+use crate::cpu::CpuManager;
+use crate::metrics::{ClassOutcome, RunReport, TimingTallies, WindowPoint};
+use exec::{Action, ExternalSort, FileRef, HashJoin, Operator};
+use pmm::{BatchStats, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot};
+use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
+use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
+use stats::SampleSummary;
+use storage::{Access, DiskFarm, FileId, Layout, RelationMeta, Service};
+use std::collections::{BTreeMap, HashMap};
+
+/// Calendar event payloads.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// Next arrival of a workload class.
+    Arrival {
+        /// Class index.
+        class: usize,
+    },
+    /// The running CPU burst finished.
+    CpuDone {
+        /// Owning query.
+        query: QueryId,
+    },
+    /// A disk completed its in-flight access.
+    DiskDone {
+        /// Disk index.
+        disk: usize,
+    },
+    /// Firm-deadline expiry.
+    Deadline {
+        /// The query whose deadline passed.
+        query: QueryId,
+    },
+    /// End of the simulation.
+    EndOfRun,
+}
+
+/// What a live query is currently waiting on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Waiting {
+    /// Nothing scheduled: parked or not yet admitted.
+    Nothing,
+    /// A CPU burst is in flight.
+    Cpu,
+    /// A disk access is queued or in flight.
+    Disk,
+}
+
+struct LiveQuery {
+    id: QueryId,
+    class: usize,
+    op: Box<dyn Operator>,
+    arrival: SimTime,
+    deadline: SimTime,
+    granted: u32,
+    first_admit: Option<SimTime>,
+    waiting: Waiting,
+    temps: HashMap<u32, FileId>,
+    operand_ios: u32,
+}
+
+impl LiveQuery {
+    fn demand(&self) -> QueryDemand {
+        QueryDemand {
+            id: self.id,
+            deadline: self.deadline,
+            max_mem: self.op.max_memory(),
+            min_mem: self.op.min_memory(),
+        }
+    }
+
+    fn resolve(&self, file: FileRef) -> FileId {
+        match file {
+            FileRef::Base(f) => f,
+            FileRef::Temp(slot) => *self
+                .temps
+                .get(&slot)
+                .unwrap_or_else(|| panic!("unbound temp slot {slot}")),
+        }
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`], execute with
+/// [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cal: Calendar<Event>,
+    layout: Layout,
+    disks: DiskFarm,
+    disk_inflight: Vec<Option<QueryId>>,
+    disk_util_run: Vec<Utilization>,
+    disk_util_batch: Vec<Utilization>,
+    cpu: CpuManager,
+    policy: Box<dyn MemoryPolicy>,
+    live: BTreeMap<QueryId, LiveQuery>,
+    next_id: u64,
+    rng_arrival: Vec<Rng>,
+    rng_pick: Vec<Rng>,
+    rng_slack: Vec<Rng>,
+    standalone_cache: HashMap<(FileId, Option<FileId>), Duration>,
+    // Run-level metrics.
+    served: u64,
+    missed: u64,
+    class_outcomes: Vec<ClassOutcome>,
+    timings: TimingTallies,
+    mpl_run: TimeWeighted,
+    miss_series: BatchMeans,
+    windows: Vec<WindowPoint>,
+    window_start: SimTime,
+    window_served: u64,
+    window_missed: u64,
+    // Batch (SampleSize) accumulators for policy feedback.
+    batch_served: u64,
+    batch_missed: u64,
+    mpl_batch: TimeWeighted,
+    batch_wait: Tally,
+    batch_slack: Tally,
+    batch_char_mem: Tally,
+    batch_char_ios: Tally,
+    batch_char_norm: Tally,
+    // Re-entrancy guard for reallocation.
+    reallocating: bool,
+    realloc_pending: bool,
+    end: SimTime,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg` driven by `policy`.
+    pub fn new(cfg: SimConfig, policy: Box<dyn MemoryPolicy>) -> Self {
+        let seeds = SeedSequence::new(cfg.seed);
+        let mut layout_rng = seeds.stream("layout");
+        let layout = Layout::build(
+            cfg.resources.geometry,
+            cfg.resources.num_disks,
+            &cfg.database,
+            &mut layout_rng,
+        );
+        let start = SimTime::ZERO;
+        let disks = DiskFarm::new(
+            cfg.resources.num_disks,
+            cfg.resources.geometry,
+            cfg.resources.exec.block_pages,
+            start,
+        );
+        let n_disks = cfg.resources.num_disks as usize;
+        let n_classes = cfg.classes.len();
+        let end = SimTime::from_secs_f64(cfg.duration_secs);
+        Simulator {
+            cal: Calendar::new(),
+            layout,
+            disks,
+            disk_inflight: vec![None; n_disks],
+            disk_util_run: vec![Utilization::new(start); n_disks],
+            disk_util_batch: vec![Utilization::new(start); n_disks],
+            cpu: CpuManager::new(cfg.resources.cpu_mips, start),
+            policy,
+            live: BTreeMap::new(),
+            next_id: 0,
+            rng_arrival: (0..n_classes)
+                .map(|i| seeds.substream("arrival", i as u64))
+                .collect(),
+            rng_pick: (0..n_classes)
+                .map(|i| seeds.substream("pick", i as u64))
+                .collect(),
+            rng_slack: (0..n_classes)
+                .map(|i| seeds.substream("slack", i as u64))
+                .collect(),
+            standalone_cache: HashMap::new(),
+            served: 0,
+            missed: 0,
+            class_outcomes: cfg
+                .classes
+                .iter()
+                .map(|c| ClassOutcome { name: c.name.clone(), served: 0, missed: 0 })
+                .collect(),
+            timings: TimingTallies::default(),
+            mpl_run: TimeWeighted::new(start, 0.0),
+            miss_series: BatchMeans::new(100),
+            windows: Vec::new(),
+            window_start: start,
+            window_served: 0,
+            window_missed: 0,
+            batch_served: 0,
+            batch_missed: 0,
+            mpl_batch: TimeWeighted::new(start, 0.0),
+            batch_wait: Tally::new(),
+            batch_slack: Tally::new(),
+            batch_char_mem: Tally::new(),
+            batch_char_ios: Tally::new(),
+            batch_char_norm: Tally::new(),
+            reallocating: false,
+            realloc_pending: false,
+            end,
+            cfg,
+        }
+    }
+
+    /// Execute the run to completion and report.
+    pub fn run(mut self) -> RunReport {
+        for class in 0..self.cfg.classes.len() {
+            self.schedule_next_arrival(class, SimTime::ZERO);
+        }
+        self.cal.schedule(self.end, Event::EndOfRun);
+        while let Some((t, event)) = self.cal.pop() {
+            match event {
+                Event::EndOfRun => break,
+                Event::Arrival { class } => self.on_arrival(t, class),
+                Event::CpuDone { query } => self.on_cpu_done(t, query),
+                Event::DiskDone { disk } => self.on_disk_done(t, disk),
+                Event::Deadline { query } => self.on_deadline(t, query),
+            }
+        }
+        self.finish_report()
+    }
+
+    // ----- Source -------------------------------------------------------
+
+    fn schedule_next_arrival(&mut self, class: usize, now: SimTime) {
+        let rate = self.cfg.classes[class].arrival_rate;
+        if rate <= 0.0 {
+            return;
+        }
+        let gap = Duration::from_secs_f64(self.rng_arrival[class].exponential(rate));
+        let at = now + gap;
+        if at < self.end {
+            self.cal.schedule(at, Event::Arrival { class });
+        }
+    }
+
+    fn on_arrival(&mut self, now: SimTime, class: usize) {
+        self.schedule_next_arrival(class, now);
+        let active = self.cfg.schedule.is_active(
+            now.as_secs_f64(),
+            class,
+            self.cfg.classes.len(),
+        );
+        if !active {
+            return;
+        }
+        let spec = self.cfg.classes[class].clone();
+        let exec_cfg = self.cfg.resources.exec;
+        let (op, r_meta, s_meta): (Box<dyn Operator>, RelationMeta, Option<RelationMeta>) =
+            match spec.query_type {
+                QueryType::HashJoin { groups } => {
+                    let a = self.layout.random_relation(groups.0, &mut self.rng_pick[class]);
+                    let b = self.layout.random_relation(groups.1, &mut self.rng_pick[class]);
+                    // The smaller relation builds (inner R), the larger probes.
+                    let (r, s) = if a.pages <= b.pages { (a, b) } else { (b, a) };
+                    (
+                        Box::new(HashJoin::new(exec_cfg, r.file, r.pages, s.file, s.pages)),
+                        r,
+                        Some(s),
+                    )
+                }
+                QueryType::ExternalSort { group } => {
+                    let r = self.layout.random_relation(group, &mut self.rng_pick[class]);
+                    (Box::new(ExternalSort::new(exec_cfg, r.file, r.pages)), r, None)
+                }
+            };
+        let standalone = self.standalone_of(&spec.query_type, r_meta, s_meta);
+        let slack = self.rng_slack[class].uniform(spec.slack_range.0, spec.slack_range.1);
+        let deadline = now + standalone.scale(slack);
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let operand_ios = {
+            let block = exec_cfg.block_pages;
+            let s_pages = s_meta.map_or(0, |m| m.pages);
+            r_meta.pages.div_ceil(block) + s_pages.div_ceil(block)
+        };
+        let query = LiveQuery {
+            id,
+            class,
+            op,
+            arrival: now,
+            deadline,
+            granted: 0,
+            first_admit: None,
+            waiting: Waiting::Nothing,
+            temps: HashMap::new(),
+            operand_ios: operand_ios.max(1),
+        };
+        self.live.insert(id, query);
+        if self.cfg.firm_deadlines {
+            self.cal.schedule(deadline, Event::Deadline { query: id });
+        }
+        self.reallocate(now);
+    }
+
+    /// Stand-alone execution time for deadline assignment, cached per
+    /// operand pair (the database has finitely many relations, so this
+    /// cache converges quickly).
+    fn standalone_of(
+        &mut self,
+        qt: &QueryType,
+        r: RelationMeta,
+        s: Option<RelationMeta>,
+    ) -> Duration {
+        let key = (r.file, s.map(|m| m.file));
+        if let Some(&d) = self.standalone_cache.get(&key) {
+            return d;
+        }
+        let exec_cfg = self.cfg.resources.exec;
+        let mut op: Box<dyn Operator> = match qt {
+            QueryType::HashJoin { .. } => {
+                let s = s.expect("join has an outer relation");
+                Box::new(HashJoin::new(exec_cfg, r.file, r.pages, s.file, s.pages))
+            }
+            QueryType::ExternalSort { .. } => {
+                Box::new(ExternalSort::new(exec_cfg, r.file, r.pages))
+            }
+        };
+        op.set_allocation(op.max_memory());
+        let layout = &self.layout;
+        let geometry = self.cfg.resources.geometry;
+        let mut placement = |file: FileRef| match file {
+            FileRef::Base(f) => {
+                let meta = layout.meta(f);
+                (meta.disk, meta.start_cylinder)
+            }
+            // Max-memory execution performs no temp I/O; this arm only
+            // matters for hypothetical constrained estimates.
+            FileRef::Temp(_) => (r.disk, geometry.num_cylinders / 6),
+        };
+        let d = exec::standalone_time(
+            op.as_mut(),
+            &geometry,
+            &mut placement,
+            self.cfg.resources.cpu_mips,
+        );
+        self.standalone_cache.insert(key, d);
+        d
+    }
+
+    // ----- Buffer manager / policy glue ----------------------------------
+
+    /// Recompute allocations through the policy and apply the differences.
+    fn reallocate(&mut self, now: SimTime) {
+        if self.reallocating {
+            self.realloc_pending = true;
+            return;
+        }
+        self.reallocating = true;
+        loop {
+            self.realloc_pending = false;
+            let snapshot = SystemSnapshot {
+                now,
+                total_memory: self.cfg.resources.memory_pages,
+                queries: self.live.values().map(LiveQuery::demand).collect(),
+            };
+            let grants = self.policy.allocate(&snapshot);
+            let grant_of: HashMap<QueryId, u32> = grants.into_iter().collect();
+            // Apply shrinking grants before growing ones so the growth is
+            // backed by freed pages.
+            let mut diffs: Vec<(QueryId, u32, u32)> = self
+                .live
+                .values()
+                .filter_map(|q| {
+                    let new = grant_of.get(&q.id).copied().unwrap_or(0);
+                    (new != q.granted).then_some((q.id, q.granted, new))
+                })
+                .collect();
+            diffs.sort_by_key(|&(_, old, new)| (new > old, new));
+            for (id, _, new) in diffs {
+                self.apply_grant(now, id, new);
+                if !self.live.contains_key(&id) {
+                    continue;
+                }
+            }
+            self.update_mpl(now);
+            if !self.realloc_pending {
+                break;
+            }
+        }
+        self.reallocating = false;
+    }
+
+    fn apply_grant(&mut self, now: SimTime, id: QueryId, new: u32) {
+        let Some(q) = self.live.get_mut(&id) else {
+            return;
+        };
+        q.op.set_allocation(new);
+        q.granted = new;
+        if new > 0 && q.first_admit.is_none() {
+            q.first_admit = Some(now);
+        }
+        let should_drive = q.waiting == Waiting::Nothing
+            && (new > 0 || q.first_admit.is_some());
+        if should_drive {
+            self.drive(now, id);
+        }
+    }
+
+    fn update_mpl(&mut self, now: SimTime) {
+        let holders = self.live.values().filter(|q| q.granted > 0).count() as f64;
+        self.mpl_run.set(now, holders);
+        self.mpl_batch.set(now, holders);
+    }
+
+    // ----- Query manager --------------------------------------------------
+
+    /// Advance a query's operator until it blocks on a resource, parks,
+    /// or finishes.
+    fn drive(&mut self, now: SimTime, id: QueryId) {
+        let Some(mut q) = self.live.remove(&id) else {
+            return;
+        };
+        for _ in 0..10_000_000u64 {
+            match q.op.step() {
+                Action::Cpu(instr) => {
+                    q.waiting = Waiting::Cpu;
+                    self.cpu.submit(now, id, q.deadline, instr, &mut self.cal);
+                    self.live.insert(id, q);
+                    return;
+                }
+                Action::Io(req) => {
+                    q.waiting = Waiting::Disk;
+                    let file = q.resolve(req.file);
+                    let meta = self.layout.meta(file);
+                    let cylinder = self
+                        .cfg
+                        .resources
+                        .geometry
+                        .cylinder_of(meta.start_cylinder, req.first_page % meta.pages.max(1));
+                    let access = Access {
+                        owner: id.0,
+                        file,
+                        first_page: req.first_page,
+                        pages: req.pages,
+                        kind: req.kind,
+                        prefetch: req.prefetch,
+                        cylinder,
+                    };
+                    let d = meta.disk.0 as usize;
+                    self.disks.disk_mut(d).enqueue(q.deadline, access);
+                    self.live.insert(id, q);
+                    self.pump_disk(now, d);
+                    return;
+                }
+                Action::CreateTemp { slot, pages } => {
+                    let file = self.layout.create_temp(pages);
+                    q.temps.insert(slot, file);
+                }
+                Action::DropTemp { slot } => {
+                    if let Some(file) = q.temps.remove(&slot) {
+                        let meta = self.layout.meta(file);
+                        self.disks.disk_mut(meta.disk.0 as usize).invalidate(file);
+                        self.layout.drop_temp(file);
+                    }
+                }
+                Action::Parked => {
+                    q.waiting = Waiting::Nothing;
+                    self.live.insert(id, q);
+                    return;
+                }
+                Action::Finished => {
+                    self.complete(now, q);
+                    return;
+                }
+            }
+        }
+        panic!("query {id:?} did not block or finish — runaway operator");
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, query: QueryId) {
+        self.cpu.on_done(now, query, &mut self.cal);
+        if let Some(q) = self.live.get_mut(&query) {
+            debug_assert_eq!(q.waiting, Waiting::Cpu);
+            q.waiting = Waiting::Nothing;
+            self.drive(now, query);
+        }
+    }
+
+    fn on_disk_done(&mut self, now: SimTime, disk: usize) {
+        self.disks.disk_mut(disk).finish(now);
+        self.disk_util_run[disk].end_busy(now);
+        self.disk_util_batch[disk].end_busy(now);
+        let owner = self.disk_inflight[disk].take();
+        self.pump_disk(now, disk);
+        if let Some(id) = owner {
+            if let Some(q) = self.live.get_mut(&id) {
+                q.waiting = Waiting::Nothing;
+                self.drive(now, id);
+            }
+        }
+    }
+
+    fn pump_disk(&mut self, now: SimTime, disk: usize) {
+        if let Some((access, service)) = self.disks.disk_mut(disk).start(now) {
+            self.disk_inflight[disk] = Some(QueryId(access.owner));
+            match service {
+                Service::CacheHit => {
+                    // Satisfied from the prefetch cache: completes now.
+                    self.cal.schedule(now, Event::DiskDone { disk });
+                }
+                Service::Media { time, .. } => {
+                    self.disk_util_run[disk].begin_busy(now);
+                    self.disk_util_batch[disk].begin_busy(now);
+                    self.cal.schedule(now + time, Event::DiskDone { disk });
+                }
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, now: SimTime, query: QueryId) {
+        let Some(q) = self.live.remove(&query) else {
+            return; // completed before its deadline
+        };
+        // Firm abort: reclaim every resource the query holds.
+        self.cpu.cancel(now, query, &mut self.cal);
+        for d in 0..self.disks.len() {
+            self.disks.disk_mut(d).cancel_queued(|a| a.owner == query.0);
+        }
+        // In-flight disk access (if any) completes harmlessly: its owner is
+        // gone and `on_disk_done` routes nowhere.
+        for (_, file) in q.temps.iter() {
+            let meta = self.layout.meta(*file);
+            self.disks.disk_mut(meta.disk.0 as usize).invalidate(*file);
+            self.layout.drop_temp(*file);
+        }
+        self.record_served(now, &q, true);
+        self.reallocate(now);
+    }
+
+    fn complete(&mut self, now: SimTime, q: LiveQuery) {
+        // Operators drop their temps themselves; clean any leftovers.
+        for (_, file) in q.temps.iter() {
+            let meta = self.layout.meta(*file);
+            self.disks.disk_mut(meta.disk.0 as usize).invalidate(*file);
+            self.layout.drop_temp(*file);
+        }
+        let missed_soft = !self.cfg.firm_deadlines && now > q.deadline;
+        self.record_served(now, &q, missed_soft);
+        self.reallocate(now);
+    }
+
+    /// Common bookkeeping when a query leaves the system (completion or
+    /// firm miss).
+    fn record_served(&mut self, now: SimTime, q: &LiveQuery, missed: bool) {
+        self.served += 1;
+        self.window_served += 1;
+        self.batch_served += 1;
+        self.class_outcomes[q.class].served += 1;
+        if missed {
+            self.missed += 1;
+            self.window_missed += 1;
+            self.batch_missed += 1;
+            self.class_outcomes[q.class].missed += 1;
+        }
+        self.miss_series.record(if missed { 1.0 } else { 0.0 });
+
+        let wait = q
+            .first_admit
+            .map_or(now.since(q.arrival), |t| t.since(q.arrival))
+            .as_secs_f64();
+        self.batch_wait.record(wait);
+        let constraint = q.deadline.since(q.arrival).as_secs_f64();
+        if let Some(admit) = q.first_admit {
+            let exec = now.since(admit).as_secs_f64();
+            if !missed {
+                // Table 7 reports completed queries.
+                self.timings.waiting.record(wait);
+                self.timings.execution.record(exec);
+                self.timings.response.record(wait + exec);
+                // Condition-4 evidence only from completed queries: aborted
+                // executions are truncated and would bias the surplus.
+                self.batch_slack.record(constraint - exec);
+            }
+        }
+        self.timings.fluctuations.record(q.op.fluctuations() as f64);
+        self.batch_char_mem.record(q.op.max_memory() as f64);
+        self.batch_char_ios.record(q.operand_ios as f64);
+        self.batch_char_norm.record(constraint / q.operand_ios as f64);
+
+        self.roll_windows(now);
+        if self.batch_served >= self.cfg.sample_size as u64 {
+            self.finish_batch(now);
+        }
+    }
+
+    fn roll_windows(&mut self, now: SimTime) {
+        let window = Duration::from_secs_f64(self.cfg.window_secs);
+        while now >= self.window_start + window {
+            self.windows.push(WindowPoint {
+                t_secs: (self.window_start + window).as_secs_f64(),
+                served: self.window_served,
+                missed: self.window_missed,
+            });
+            self.window_start += window;
+            self.window_served = 0;
+            self.window_missed = 0;
+        }
+    }
+
+    fn finish_batch(&mut self, now: SimTime) {
+        let to_summary = |t: &Tally| SampleSummary::new(t.mean(), t.variance(), t.count());
+        let disk_util = self
+            .disk_util_batch
+            .iter()
+            .map(|u| u.fraction(now))
+            .sum::<f64>()
+            / self.disk_util_batch.len() as f64;
+        let stats = BatchStats {
+            now,
+            served: self.batch_served,
+            missed: self.batch_missed,
+            realized_mpl: self.mpl_batch.mean(now),
+            cpu_util: self.cpu.util_batch.fraction(now),
+            disk_util,
+            wait_time: to_summary(&self.batch_wait),
+            slack_surplus: to_summary(&self.batch_slack),
+            char_max_mem: to_summary(&self.batch_char_mem),
+            char_operand_ios: to_summary(&self.batch_char_ios),
+            char_norm_constraint: to_summary(&self.batch_char_norm),
+        };
+        self.policy.on_batch(&stats);
+        // Reset the batch windows.
+        self.batch_served = 0;
+        self.batch_missed = 0;
+        self.mpl_batch.reset_window(now);
+        self.cpu.util_batch.reset_window(now);
+        for u in &mut self.disk_util_batch {
+            u.reset_window(now);
+        }
+        self.batch_wait.reset();
+        self.batch_slack.reset();
+        self.batch_char_mem.reset();
+        self.batch_char_ios.reset();
+        self.batch_char_norm.reset();
+        // The policy may have changed its mind — re-run allocation.
+        self.reallocate(now);
+    }
+
+    fn finish_report(mut self) -> RunReport {
+        let now = self.end;
+        self.roll_windows(now);
+        if self.window_served > 0 {
+            self.windows.push(WindowPoint {
+                t_secs: now.as_secs_f64(),
+                served: self.window_served,
+                missed: self.window_missed,
+            });
+        }
+        let disk_util = self
+            .disk_util_run
+            .iter()
+            .map(|u| u.fraction(now))
+            .sum::<f64>()
+            / self.disk_util_run.len().max(1) as f64;
+        RunReport {
+            policy: self.policy.name(),
+            served: self.served,
+            missed: self.missed,
+            classes: self.class_outcomes,
+            avg_mpl: self.mpl_run.mean(now),
+            cpu_util: self.cpu.util_run.fraction(now),
+            disk_util,
+            timings: self.timings.summarize(),
+            avg_fluctuations: self.timings.fluctuations.mean(),
+            windows: self.windows,
+            trace: self.policy.trace().to_vec(),
+            miss_ci_half_width: self.miss_series.half_width(1.645),
+            sim_secs: now.as_secs_f64(),
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_simulation(cfg: SimConfig, policy: Box<dyn MemoryPolicy>) -> RunReport {
+    Simulator::new(cfg, policy).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm::{MaxPolicy, MinMaxPolicy, Pmm};
+
+    /// A short, light-load baseline: enough queries to exercise every code
+    /// path but quick enough for unit tests.
+    fn quick_cfg(rate: f64, secs: f64) -> SimConfig {
+        let mut cfg = SimConfig::baseline(rate);
+        cfg.duration_secs = secs;
+        cfg.window_secs = secs / 4.0;
+        cfg
+    }
+
+    #[test]
+    fn light_load_completes_queries_with_low_misses() {
+        let report = run_simulation(quick_cfg(0.02, 3_000.0), Box::new(MinMaxPolicy::unlimited()));
+        assert!(report.served >= 30, "served {}", report.served);
+        assert!(
+            report.miss_pct() < 15.0,
+            "light load should rarely miss: {}%",
+            report.miss_pct()
+        );
+        assert!(report.timings.execution > 0.0);
+        assert!(report.cpu_util > 0.0 && report.cpu_util < 1.0);
+        assert!(report.disk_util > 0.0 && report.disk_util < 1.0);
+    }
+
+    #[test]
+    fn max_policy_realizes_tiny_mpl() {
+        let report = run_simulation(quick_cfg(0.05, 3_000.0), Box::new(MaxPolicy));
+        assert!(
+            report.avg_mpl < 2.5,
+            "Max admits at most ~2 baseline queries, got MPL {}",
+            report.avg_mpl
+        );
+    }
+
+    #[test]
+    fn minmax_mpl_exceeds_max_under_load() {
+        let max = run_simulation(quick_cfg(0.06, 3_000.0), Box::new(MaxPolicy));
+        let minmax =
+            run_simulation(quick_cfg(0.06, 3_000.0), Box::new(MinMaxPolicy::unlimited()));
+        assert!(
+            minmax.avg_mpl > max.avg_mpl,
+            "MinMax {} vs Max {}",
+            minmax.avg_mpl,
+            max.avg_mpl
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let b = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.missed, b.missed);
+        assert_eq!(a.avg_mpl, b.avg_mpl);
+        assert_eq!(a.cpu_util, b.cpu_util);
+    }
+
+    #[test]
+    fn different_seed_changes_the_run() {
+        let a = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let mut cfg = quick_cfg(0.05, 2_000.0);
+        cfg.seed = 777;
+        let b = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert_ne!(
+            (a.served, a.cpu_util),
+            (b.served, b.cpu_util),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn pmm_runs_and_traces() {
+        let report = run_simulation(quick_cfg(0.06, 4_000.0), Box::new(Pmm::with_defaults()));
+        assert_eq!(report.policy, "PMM");
+        assert!(report.served > 50);
+    }
+
+    #[test]
+    fn sorts_workload_runs() {
+        let mut cfg = SimConfig::sorts(0.05);
+        cfg.duration_secs = 2_000.0;
+        let report = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert!(report.served > 20, "served {}", report.served);
+    }
+
+    #[test]
+    fn firm_aborts_bound_response_times() {
+        // Overload: with firm deadlines every query leaves by its deadline,
+        // so response ≤ constraint ≤ 7.5 × standalone.
+        let report = run_simulation(quick_cfg(0.10, 2_000.0), Box::new(MaxPolicy));
+        assert!(report.missed > 0, "overload must miss deadlines");
+        assert!(report.served > 0);
+    }
+
+    #[test]
+    fn soft_deadline_ablation_still_counts_misses() {
+        let mut cfg = quick_cfg(0.08, 2_000.0);
+        cfg.firm_deadlines = false;
+        let report = run_simulation(cfg, Box::new(MaxPolicy));
+        assert!(report.missed > 0, "late completions count as missed");
+    }
+
+    #[test]
+    fn windows_cover_the_run() {
+        let report = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        assert!(report.windows.len() >= 4);
+        let total: u64 = report.windows.iter().map(|w| w.served).sum();
+        assert_eq!(total, report.served);
+    }
+
+    #[test]
+    fn multiclass_reports_both_classes() {
+        let mut cfg = SimConfig::multiclass(0.3);
+        cfg.duration_secs = 1_500.0;
+        let report = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(report.classes.len(), 2);
+        assert!(report.classes.iter().all(|c| c.served > 0));
+    }
+}

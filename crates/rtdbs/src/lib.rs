@@ -1,0 +1,26 @@
+//! `rtdbs` — the firm real-time database system simulator of Section 4.
+//!
+//! This crate assembles the substrates into the paper's five-component
+//! simulation model (Figure 2):
+//!
+//! * **Source** — Poisson arrivals per workload class, operand selection
+//!   from the relation groups, slack-ratio deadline assignment.
+//! * **Query Manager** — drives the memory-adaptive operators from `exec`.
+//! * **Buffer Manager** — reservation-based workspace memory ruled by a
+//!   [`pmm::MemoryPolicy`], with firm-deadline admission waiting.
+//! * **CPU Manager** — preemptive-resume Earliest Deadline CPU.
+//! * **Disk Manager** — the `storage` disk farm (ED + elevator queues,
+//!   prefetch caches).
+//!
+//! Entry point: [`engine::run_simulation`] with a [`config::SimConfig`]
+//! (presets for every experiment in Section 5) and a policy. The result is
+//! a [`metrics::RunReport`] carrying every quantity the paper plots.
+
+pub mod config;
+pub mod cpu;
+pub mod engine;
+pub mod metrics;
+
+pub use config::{PhaseSchedule, QueryType, ResourceConfig, SimConfig, WorkloadClass};
+pub use engine::{run_simulation, Event, Simulator};
+pub use metrics::{ClassOutcome, RunReport, Timings, WindowPoint};

@@ -1,0 +1,165 @@
+//! Run-level output metrics: everything the paper's figures and tables
+//! report.
+
+use pmm::TracePoint;
+use simkit::metrics::Tally;
+
+/// Average timing breakdown (Table 7), in seconds, over completed queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Timings {
+    /// Admission waiting time: arrival → first memory grant.
+    pub waiting: f64,
+    /// Execution time: first grant → completion.
+    pub execution: f64,
+    /// Total response time.
+    pub response: f64,
+}
+
+/// Per-class outcome counts.
+#[derive(Clone, Debug, Default)]
+pub struct ClassOutcome {
+    /// Class label.
+    pub name: String,
+    /// Queries served (completed + missed).
+    pub served: u64,
+    /// Queries that missed their deadline.
+    pub missed: u64,
+}
+
+impl ClassOutcome {
+    /// Class miss ratio in percent.
+    pub fn miss_pct(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.served as f64
+        }
+    }
+}
+
+/// One point of the windowed miss-ratio time series (Figures 12–14).
+#[derive(Clone, Copy, Debug)]
+pub struct WindowPoint {
+    /// Window end, seconds.
+    pub t_secs: f64,
+    /// Queries served in the window.
+    pub served: u64,
+    /// Misses in the window.
+    pub missed: u64,
+}
+
+impl WindowPoint {
+    /// Window miss ratio in percent.
+    pub fn miss_pct(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.served as f64
+        }
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Policy under test.
+    pub policy: String,
+    /// Queries served (completions + firm misses).
+    pub served: u64,
+    /// Deadline misses.
+    pub missed: u64,
+    /// Per-class breakdown.
+    pub classes: Vec<ClassOutcome>,
+    /// Time-averaged observed MPL (queries holding memory).
+    pub avg_mpl: f64,
+    /// CPU utilization over the run.
+    pub cpu_util: f64,
+    /// Mean disk utilization over the run.
+    pub disk_util: f64,
+    /// Table 7 timings (completed queries).
+    pub timings: Timings,
+    /// Mean number of memory-allocation changes per query (Figure 7).
+    pub avg_fluctuations: f64,
+    /// Windowed miss-ratio series.
+    pub windows: Vec<WindowPoint>,
+    /// Adaptive-policy decision trace (PMM only).
+    pub trace: Vec<TracePoint>,
+    /// 90% batch-means half-width of the miss ratio, when enough batches
+    /// completed.
+    pub miss_ci_half_width: Option<f64>,
+    /// Total simulated seconds.
+    pub sim_secs: f64,
+}
+
+impl RunReport {
+    /// Overall miss ratio in percent — the paper's headline metric.
+    pub fn miss_pct(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.served as f64
+        }
+    }
+}
+
+/// Mutable accumulators the engine updates while running.
+#[derive(Clone, Debug, Default)]
+pub struct TimingTallies {
+    /// Waiting-time tally (seconds).
+    pub waiting: Tally,
+    /// Execution-time tally (seconds).
+    pub execution: Tally,
+    /// Response-time tally (seconds).
+    pub response: Tally,
+    /// Memory fluctuation counts.
+    pub fluctuations: Tally,
+}
+
+impl TimingTallies {
+    /// Snapshot into the report form.
+    pub fn summarize(&self) -> Timings {
+        Timings {
+            waiting: self.waiting.mean(),
+            execution: self.execution.mean(),
+            response: self.response.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_pct_handles_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn class_outcome_pct() {
+        let c = ClassOutcome { name: "Medium".into(), served: 200, missed: 30 };
+        assert!((c.miss_pct() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_pct() {
+        let w = WindowPoint { t_secs: 100.0, served: 10, missed: 5 };
+        assert_eq!(w.miss_pct(), 50.0);
+        let empty = WindowPoint { t_secs: 1.0, served: 0, missed: 0 };
+        assert_eq!(empty.miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn timing_tallies_summarize() {
+        let mut t = TimingTallies::default();
+        t.waiting.record(2.0);
+        t.waiting.record(4.0);
+        t.execution.record(10.0);
+        t.response.record(13.0);
+        let s = t.summarize();
+        assert_eq!(s.waiting, 3.0);
+        assert_eq!(s.execution, 10.0);
+        assert_eq!(s.response, 13.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The event calendar: a time-ordered priority queue with deterministic
+//! FIFO tie-breaking and O(1) cancellation via generation handles.
+//!
+//! Events scheduled for the same instant pop in scheduling order, which keeps
+//! simulation runs reproducible. Cancellation is *lazy*: a cancelled entry
+//! stays in the heap but is skipped when popped. This is the standard
+//! technique for DES calendars, and it keeps `cancel` O(1).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle identifying one scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event calendar.
+///
+/// `E` is the caller's event payload type. The calendar itself knows nothing
+/// about event semantics; the simulation main loop pops events and dispatches
+/// them.
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar with the clock at `t = 0`.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock: the past is immutable.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a silent no-op, which lets callers
+    /// keep stale handles without bookkeeping.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    /// Returns `None` when the calendar is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "calendar order violated");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(30), "c");
+        cal.schedule(SimTime(10), "a");
+        cal.schedule(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(2), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(100), ());
+        cal.pop();
+        cal.schedule(SimTime(50), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut cal = Calendar::new();
+        let h1 = cal.schedule(SimTime(1), "dead");
+        cal.schedule(SimTime(2), "live");
+        cal.cancel(h1);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("live"));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime(1), ());
+        cal.pop();
+        cal.cancel(h); // must not affect later events
+        cal.schedule(SimTime(2), ());
+        assert!(cal.pop().is_some());
+    }
+
+    #[test]
+    fn peek_respects_cancellation() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime(1), "x");
+        cal.schedule(SimTime(7), "y");
+        cal.cancel(h);
+        assert_eq!(cal.peek_time(), Some(SimTime(7)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(10), 1u32);
+        let (t, _) = cal.pop().unwrap();
+        cal.schedule(t + Duration(5), 2u32);
+        cal.schedule(t + Duration(1), 3u32);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(3));
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(cal.events_dispatched(), 3);
+    }
+}

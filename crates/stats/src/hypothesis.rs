@@ -1,0 +1,233 @@
+//! Large-sample hypothesis tests \[Devo91, pp. 283–301, 326–335\].
+//!
+//! PMM uses two kinds of tests:
+//!
+//! * **One-sided mean tests** (Section 3.2): "there is a non-zero admission
+//!   waiting time" and "the average execution time is shorter than the time
+//!   constraint" are both tested at `AdaptConfLevel` (default 95%).
+//! * **Two-sided difference-of-means tests** (Section 3.3): each monitored
+//!   workload characteristic is compared against its last observed value at
+//!   `ChangeConfLevel` (default 99%); a significant difference triggers a
+//!   PMM restart.
+//!
+//! All tests operate on [`SampleSummary`] — mean, variance and count — so no
+//! raw observations are retained, matching the paper's storage discipline.
+
+use crate::normal::z_critical;
+
+/// Sufficient statistics of one sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SampleSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl SampleSummary {
+    /// Summary of a sample with the given statistics.
+    pub fn new(mean: f64, variance: f64, n: u64) -> Self {
+        SampleSummary { mean, variance, n }
+    }
+
+    /// Standard error of the sample mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance / self.n as f64).sqrt()
+        }
+    }
+
+    /// Pool another sample into this one (parallel Welford combination).
+    /// Used by PMM to accumulate evidence across feedback batches until the
+    /// large-sample threshold is reached.
+    pub fn merge(&mut self, other: &SampleSummary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        // Convert unbiased variances back to sums of squared deviations.
+        let m2a = self.variance * (na - 1.0).max(0.0);
+        let m2b = other.variance * (nb - 1.0).max(0.0);
+        let m2 = m2a + m2b + delta * delta * na * nb / n;
+        self.mean = mean;
+        self.variance = if n > 1.0 { m2 / (n - 1.0) } else { 0.0 };
+        self.n += other.n;
+    }
+
+    /// Reset to the empty sample.
+    pub fn reset(&mut self) {
+        *self = SampleSummary::default();
+    }
+}
+
+/// Minimum sample size before a large-sample (z) test is considered valid.
+/// Devore's rule of thumb is n ≥ 30 — not coincidentally the paper's default
+/// `SampleSize`.
+pub const LARGE_SAMPLE_MIN: u64 = 30;
+
+/// One-sided test of H₀: μ ≤ 0 against H₁: μ > 0.
+///
+/// Returns `true` when H₀ is rejected at the given confidence level — i.e.
+/// the sample demonstrates the mean is positive. Samples smaller than
+/// [`LARGE_SAMPLE_MIN`] never reject (the normal approximation would not be
+/// trustworthy, so PMM stays conservative and does not switch strategies on
+/// thin evidence).
+pub fn mean_positive_test(sample: SampleSummary, confidence: f64) -> bool {
+    if sample.n < LARGE_SAMPLE_MIN {
+        return false;
+    }
+    let se = sample.std_error();
+    if se == 0.0 {
+        // Zero variance: every observation equals the mean.
+        return sample.mean > 0.0;
+    }
+    let z = sample.mean / se;
+    z > z_critical(confidence)
+}
+
+/// Two-sided test of H₀: μ₁ = μ₂ against H₁: μ₁ ≠ μ₂ for two independent
+/// samples.
+///
+/// Returns `true` when the means differ significantly at the given
+/// confidence level. Again, under-sized samples never reject.
+pub fn means_differ_test(a: SampleSummary, b: SampleSummary, confidence: f64) -> bool {
+    if a.n < LARGE_SAMPLE_MIN || b.n < LARGE_SAMPLE_MIN {
+        return false;
+    }
+    let se2 = a.variance / a.n as f64 + b.variance / b.n as f64;
+    if se2 <= 0.0 {
+        return a.mean != b.mean;
+    }
+    let z = (a.mean - b.mean) / se2.sqrt();
+    // Two-sided: split the rejection probability across both tails.
+    let two_sided = z_critical(0.5 + confidence / 2.0);
+    z.abs() > two_sided
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_mean_detected() {
+        // Mean 4, sd 2, n = 100 → z = 20: overwhelmingly positive.
+        let s = SampleSummary::new(4.0, 4.0, 100);
+        assert!(mean_positive_test(s, 0.95));
+    }
+
+    #[test]
+    fn zero_mean_not_rejected() {
+        let s = SampleSummary::new(0.0, 4.0, 100);
+        assert!(!mean_positive_test(s, 0.95));
+    }
+
+    #[test]
+    fn small_positive_mean_with_large_noise_not_rejected() {
+        // z = 0.05 / (10/10) = 0.05 — no evidence.
+        let s = SampleSummary::new(0.05, 100.0, 100);
+        assert!(!mean_positive_test(s, 0.95));
+    }
+
+    #[test]
+    fn borderline_depends_on_confidence() {
+        // z = 2.0: rejected at 95% (1.645) but not at 99% (2.326).
+        let s = SampleSummary::new(2.0, 100.0, 100);
+        assert!(mean_positive_test(s, 0.95));
+        assert!(!mean_positive_test(s, 0.99));
+    }
+
+    #[test]
+    fn under_sized_sample_never_rejects() {
+        let s = SampleSummary::new(1000.0, 1.0, LARGE_SAMPLE_MIN - 1);
+        assert!(!mean_positive_test(s, 0.95));
+    }
+
+    #[test]
+    fn zero_variance_positive() {
+        let s = SampleSummary::new(3.0, 0.0, 50);
+        assert!(mean_positive_test(s, 0.95));
+        let s0 = SampleSummary::new(0.0, 0.0, 50);
+        assert!(!mean_positive_test(s0, 0.95));
+    }
+
+    #[test]
+    fn difference_detected_when_means_far_apart() {
+        let a = SampleSummary::new(1200.0, 10_000.0, 60);
+        let b = SampleSummary::new(110.0, 1_000.0, 60);
+        assert!(means_differ_test(a, b, 0.99));
+    }
+
+    #[test]
+    fn no_difference_for_identical_distributions() {
+        let a = SampleSummary::new(5.0, 4.0, 100);
+        let b = SampleSummary::new(5.1, 4.0, 100);
+        // Difference 0.1, se = sqrt(0.08) ≈ 0.28 → z ≈ 0.35.
+        assert!(!means_differ_test(a, b, 0.99));
+    }
+
+    #[test]
+    fn two_sided_is_stricter_than_one_sided() {
+        // z = 2.0 between samples: two-sided 95% needs 1.96, 99% needs 2.576.
+        let a = SampleSummary::new(2.0, 50.0, 100);
+        let b = SampleSummary::new(0.0, 50.0, 100);
+        assert!(means_differ_test(a, b, 0.95));
+        assert!(!means_differ_test(a, b, 0.99));
+    }
+
+    #[test]
+    fn merge_pools_evidence() {
+        // Two 20-observation samples merge into one of 40 — enough for the
+        // large-sample test where neither alone was.
+        let mut a = SampleSummary::new(5.0, 4.0, 20);
+        let b = SampleSummary::new(5.0, 4.0, 20);
+        assert!(!mean_positive_test(a, 0.95), "20 obs is under the threshold");
+        a.merge(&b);
+        assert_eq!(a.n, 40);
+        assert!((a.mean - 5.0).abs() < 1e-12);
+        assert!(mean_positive_test(a, 0.95));
+    }
+
+    #[test]
+    fn merge_matches_direct_computation() {
+        // Merge {1,2,3} with {10, 20}: mean 7.2, var of all five = 63.7.
+        let mut a = SampleSummary::new(2.0, 1.0, 3);
+        let b = SampleSummary::new(15.0, 50.0, 2);
+        a.merge(&b);
+        assert_eq!(a.n, 5);
+        assert!((a.mean - 7.2).abs() < 1e-12, "mean {}", a.mean);
+        assert!((a.variance - 63.7).abs() < 1e-9, "var {}", a.variance);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = SampleSummary::new(3.0, 2.0, 10);
+        a.merge(&SampleSummary::default());
+        assert_eq!(a, SampleSummary::new(3.0, 2.0, 10));
+        let mut e = SampleSummary::default();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn change_detection_conservatism_at_99() {
+        // The paper sets ChangeConfLevel high "to reduce the chances of PMM
+        // wrongly reacting to inherent workload fluctuations": a 2.3-sigma
+        // wiggle must NOT trigger at 99% two-sided.
+        let a = SampleSummary::new(0.0, 1.0, 30);
+        let zstat = 2.3;
+        let b = SampleSummary::new(zstat * (2.0f64 / 30.0).sqrt(), 1.0, 30);
+        assert!(!means_differ_test(a, b, 0.99));
+        assert!(means_differ_test(a, b, 0.95));
+    }
+}

@@ -1,0 +1,141 @@
+//! The standard normal distribution.
+//!
+//! Large-sample tests compare a z statistic against a standard normal
+//! quantile. We implement the CDF via the complementary error function
+//! (Abramowitz & Stegun 7.1.26, |error| < 1.5e-7) and the inverse CDF via
+//! Acklam's rational approximation (|relative error| < 1.15e-9), both of
+//! which are far more accurate than the tests require.
+
+/// CDF of the standard normal distribution, `P(Z ≤ z)`.
+pub fn cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function via Abramowitz & Stegun 7.1.26.
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let result = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// # Panics
+/// Panics unless `p` lies strictly between 0 and 1.
+pub fn inverse_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+
+    // Acklam's algorithm: rational approximations on three regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// One-sided critical value for a test at the given confidence level, e.g.
+/// `z_critical(0.95) ≈ 1.645`.
+pub fn z_critical(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.5 && confidence < 1.0,
+        "confidence must be in (0.5, 1), got {confidence}"
+    );
+    inverse_cdf(confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_points() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841344746).abs() < 1e-6);
+        assert!((cdf(-1.0) - 0.158655254).abs() < 1e-6);
+        assert!((cdf(1.959964) - 0.975).abs() < 1e-6);
+        assert!((cdf(2.326348) - 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_tails() {
+        assert!(cdf(-8.0) < 1e-14);
+        assert!(cdf(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn inverse_matches_known_quantiles() {
+        assert!((inverse_cdf(0.95) - 1.6448536).abs() < 1e-6);
+        assert!((inverse_cdf(0.99) - 2.3263479).abs() < 1e-6);
+        assert!((inverse_cdf(0.975) - 1.9599640).abs() < 1e-6);
+        assert!((inverse_cdf(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_is_inverse_of_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let z = inverse_cdf(p);
+            assert!((cdf(z) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn z_critical_levels() {
+        assert!((z_critical(0.95) - 1.645).abs() < 1e-3);
+        assert!((z_critical(0.99) - 2.326).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn inverse_rejects_out_of_range() {
+        inverse_cdf(1.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! One physical disk: head position, a 256 KB prefetch cache, and an
+//! ED+elevator queue; plus [`DiskFarm`], the set of disks.
+//!
+//! Section 4.2: each disk has a 256-KByte cache used for prefetching; on a
+//! sequential read that misses the cache, `BlockSize` (6) pages are fetched,
+//! **except during the merge phase of an external sort** (the merge reads
+//! many runs concurrently, so prefetching would pollute the tiny cache).
+//! Whenever queries have enough buffers they spool outputs so writes also go
+//! to disk in blocks.
+//!
+//! The disk is a passive state machine: the simulator's disk manager calls
+//! [`Disk::start`] to begin servicing a request (obtaining its service
+//! time), schedules the completion on its calendar, and calls
+//! [`Disk::finish`] when the event fires.
+
+use crate::geometry::DiskGeometry;
+use crate::layout::FileId;
+use crate::queue::{DiskQueue, QueuedRequest};
+use simkit::metrics::Utilization;
+use simkit::{Duration, SimTime};
+use std::collections::VecDeque;
+
+/// Whether an access reads or writes the media.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoKind {
+    /// Read; may hit the prefetch cache.
+    Read,
+    /// Write; always touches the media (write-through).
+    Write,
+}
+
+/// A physical disk access (page range within one file).
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Opaque owner tag (the simulator stores the owning query id here so
+    /// aborted queries' pending requests can be cancelled).
+    pub owner: u64,
+    /// File being accessed.
+    pub file: FileId,
+    /// First page of the range (file-relative).
+    pub first_page: u32,
+    /// Number of pages.
+    pub pages: u32,
+    /// Read or write.
+    pub kind: IoKind,
+    /// If true, a read miss fetches whole cache blocks (sequential
+    /// prefetch); merge-phase reads set this to false.
+    pub prefetch: bool,
+    /// Target cylinder (resolved from the layout by the caller).
+    pub cylinder: u32,
+}
+
+/// A cache line: one block of pages of one file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CacheKey {
+    file: FileId,
+    block: u32,
+}
+
+/// LRU prefetch cache, tracked at block granularity.
+#[derive(Debug)]
+pub struct PrefetchCache {
+    capacity_blocks: usize,
+    block_pages: u32,
+    lru: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PrefetchCache {
+    /// Cache with `capacity_pages` pages organized in `block_pages`-page
+    /// lines (256 KB / 8 KB = 32 pages = 5 whole 6-page blocks).
+    pub fn new(capacity_pages: u32, block_pages: u32) -> Self {
+        assert!(block_pages > 0);
+        PrefetchCache {
+            capacity_blocks: (capacity_pages / block_pages).max(1) as usize,
+            block_pages,
+            lru: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn key(&self, file: FileId, page: u32) -> CacheKey {
+        CacheKey { file, block: page / self.block_pages }
+    }
+
+    /// True if every page of `[first, first+pages)` of `file` is cached.
+    /// Touches the lines (LRU update) on a full hit.
+    pub fn lookup(&mut self, file: FileId, first: u32, pages: u32) -> bool {
+        let blocks: Vec<CacheKey> = (first..first + pages.max(1))
+            .step_by(self.block_pages as usize)
+            .map(|p| self.key(file, p))
+            .chain(std::iter::once(self.key(file, first + pages.saturating_sub(1))))
+            .collect();
+        let all_present = blocks.iter().all(|k| self.lru.contains(k));
+        if all_present {
+            self.hits += 1;
+            for k in blocks {
+                if let Some(pos) = self.lru.iter().position(|&x| x == k) {
+                    let line = self.lru.remove(pos).expect("position valid");
+                    self.lru.push_back(line);
+                }
+            }
+        } else {
+            self.misses += 1;
+        }
+        all_present
+    }
+
+    /// Insert the lines covering `[first, first+pages)` of `file`.
+    pub fn insert(&mut self, file: FileId, first: u32, pages: u32) {
+        for p in (first..first + pages.max(1)).step_by(self.block_pages as usize) {
+            let k = self.key(file, p);
+            if let Some(pos) = self.lru.iter().position(|&x| x == k) {
+                self.lru.remove(pos);
+            }
+            self.lru.push_back(k);
+            while self.lru.len() > self.capacity_blocks {
+                self.lru.pop_front();
+            }
+        }
+    }
+
+    /// Drop every line belonging to `file` (called when a temp is deleted).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        self.lru.retain(|k| k.file != file);
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The service decision for one access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Service {
+    /// Satisfied from the prefetch cache; no media access.
+    CacheHit,
+    /// Requires the media for `time`, moving the head to `new_head`.
+    Media {
+        /// Total seek + rotation + transfer time.
+        time: Duration,
+        /// Cylinder the head rests on afterwards.
+        new_head: u32,
+    },
+}
+
+/// One disk: queue + head + cache + utilization accounting.
+pub struct Disk {
+    geometry: DiskGeometry,
+    queue: DiskQueue<Access>,
+    head: u32,
+    busy: bool,
+    cache: PrefetchCache,
+    utilization: Utilization,
+    completed: u64,
+}
+
+impl Disk {
+    /// A new idle disk with its head parked at cylinder 0.
+    pub fn new(geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
+        Disk {
+            geometry,
+            queue: DiskQueue::new(),
+            head: 0,
+            busy: false,
+            cache: PrefetchCache::new(geometry.cache_pages(), block_pages),
+            utilization: Utilization::new(start),
+            completed: 0,
+        }
+    }
+
+    /// Queue an access with ED priority `deadline`.
+    pub fn enqueue(&mut self, deadline: SimTime, access: Access) {
+        self.queue.push(QueuedRequest { deadline, cylinder: access.cylinder, tag: access });
+    }
+
+    /// True if the disk is currently servicing a request.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Number of queued (not yet started) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Begin servicing the next queued request, if idle and work exists.
+    /// Returns the access and its service outcome; the caller schedules the
+    /// completion event (immediately for a cache hit).
+    pub fn start(&mut self, now: SimTime) -> Option<(Access, Service)> {
+        if self.busy {
+            return None;
+        }
+        let request = self.queue.pop(self.head)?;
+        let access = request.tag;
+        let service = self.service(&access);
+        if let Service::Media { new_head, .. } = service {
+            self.head = new_head;
+        }
+        self.busy = true;
+        self.utilization.begin_busy(now);
+        Some((access, service))
+    }
+
+    /// Compute the service decision for `access` (cache consult + timing).
+    fn service(&mut self, access: &Access) -> Service {
+        match access.kind {
+            IoKind::Read => {
+                if self.cache.lookup(access.file, access.first_page, access.pages) {
+                    return Service::CacheHit;
+                }
+                // Fetch: with prefetch on, round the fetch up to whole
+                // blocks starting at the block boundary.
+                let fetch_pages = if access.prefetch {
+                    let bp = self.cache.block_pages;
+                    let first_block = access.first_page / bp;
+                    let last_block = (access.first_page + access.pages.max(1) - 1) / bp;
+                    (last_block - first_block + 1) * bp
+                } else {
+                    access.pages.max(1)
+                };
+                let dist = self.head.abs_diff(access.cylinder);
+                let time = self.geometry.access_time(dist, fetch_pages);
+                if access.prefetch {
+                    let bp = self.cache.block_pages;
+                    self.cache.insert(access.file, (access.first_page / bp) * bp, fetch_pages);
+                }
+                Service::Media { time, new_head: access.cylinder }
+            }
+            IoKind::Write => {
+                let dist = self.head.abs_diff(access.cylinder);
+                let time = self.geometry.access_time(dist, access.pages.max(1));
+                Service::Media { time, new_head: access.cylinder }
+            }
+        }
+    }
+
+    /// Mark the in-flight request complete at `now`.
+    pub fn finish(&mut self, now: SimTime) {
+        debug_assert!(self.busy, "finish without start");
+        self.busy = false;
+        self.completed += 1;
+        self.utilization.end_busy(now);
+    }
+
+    /// Remove queued requests matching `pred` (aborted queries). In-flight
+    /// requests are allowed to complete (a started disk access cannot be
+    /// recalled).
+    pub fn cancel_queued<F: Fn(&Access) -> bool>(&mut self, pred: F) -> usize {
+        self.queue.drain_where(|a| pred(a)).len()
+    }
+
+    /// Invalidate cached lines of a deleted file.
+    pub fn invalidate(&mut self, file: FileId) {
+        self.cache.invalidate_file(file);
+    }
+
+    /// Busy fraction since the start of the current measurement window.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.utilization.fraction(now)
+    }
+
+    /// Restart the utilization window at `now`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.utilization.reset_window(now);
+    }
+
+    /// Completed request count.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+/// All the disks in the system.
+pub struct DiskFarm {
+    disks: Vec<Disk>,
+}
+
+impl DiskFarm {
+    /// `n` identical disks.
+    pub fn new(n: u32, geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
+        assert!(n > 0, "a database system needs at least one disk");
+        DiskFarm {
+            disks: (0..n).map(|_| Disk::new(geometry, block_pages, start)).collect(),
+        }
+    }
+
+    /// Number of disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Always false: the farm is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mutable access to disk `i`.
+    pub fn disk_mut(&mut self, i: usize) -> &mut Disk {
+        &mut self.disks[i]
+    }
+
+    /// Immutable access to disk `i`.
+    pub fn disk(&self, i: usize) -> &Disk {
+        &self.disks[i]
+    }
+
+    /// Mean utilization across disks (the "disk resource" reading the RU
+    /// heuristic uses).
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        self.disks.iter().map(|d| d.utilization(now)).sum::<f64>() / self.disks.len() as f64
+    }
+
+    /// Highest per-disk utilization.
+    pub fn max_utilization(&self, now: SimTime) -> f64 {
+        self.disks
+            .iter()
+            .map(|d| d.utilization(now))
+            .fold(0.0, f64::max)
+    }
+
+    /// Restart every disk's utilization window.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        for d in &mut self.disks {
+            d.reset_utilization(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(file: u32, first: u32, pages: u32, cylinder: u32) -> Access {
+        Access {
+            owner: u64::from(file),
+            file: FileId::Relation(file),
+            first_page: first,
+            pages,
+            kind: IoKind::Read,
+            prefetch: true,
+            cylinder,
+        }
+    }
+
+    #[test]
+    fn sequential_read_misses_then_hits() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        disk.enqueue(SimTime(10), read(0, 0, 6, 700));
+        let (_, s1) = disk.start(SimTime::ZERO).unwrap();
+        assert!(matches!(s1, Service::Media { .. }));
+        disk.finish(SimTime(1000));
+        // Re-read the same block: cache hit.
+        disk.enqueue(SimTime(10), read(0, 0, 6, 700));
+        let (_, s2) = disk.start(SimTime(1000)).unwrap();
+        assert_eq!(s2, Service::CacheHit);
+        disk.finish(SimTime(1000));
+        assert_eq!(disk.cache_stats().0, 1);
+    }
+
+    #[test]
+    fn non_prefetch_read_does_not_populate_cache() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut acc = read(0, 0, 1, 700);
+        acc.prefetch = false;
+        disk.enqueue(SimTime(10), acc.clone());
+        let (_, s1) = disk.start(SimTime::ZERO).unwrap();
+        match s1 {
+            Service::Media { time, .. } => {
+                // Single page, no block round-up.
+                let expected = DiskGeometry::default().access_time(700, 1);
+                assert_eq!(time, expected);
+            }
+            Service::CacheHit => panic!("cold read cannot hit"),
+        }
+        disk.finish(SimTime(100));
+        disk.enqueue(SimTime(10), acc);
+        let (_, s2) = disk.start(SimTime(100)).unwrap();
+        assert!(matches!(s2, Service::Media { .. }), "no prefetch, so no hit");
+    }
+
+    #[test]
+    fn prefetch_rounds_to_block() {
+        let g = DiskGeometry::default();
+        let mut disk = Disk::new(g, 6, SimTime::ZERO);
+        // 2-page read spanning a block: fetch rounds up to 6 pages.
+        disk.enqueue(SimTime(10), read(0, 2, 2, 700));
+        let (_, s) = disk.start(SimTime::ZERO).unwrap();
+        match s {
+            Service::Media { time, .. } => {
+                assert_eq!(time, g.access_time(700, 6));
+            }
+            _ => panic!("expected media access"),
+        }
+    }
+
+    #[test]
+    fn head_moves_and_second_seek_is_shorter() {
+        let g = DiskGeometry::default();
+        let mut disk = Disk::new(g, 6, SimTime::ZERO);
+        disk.enqueue(SimTime(10), read(0, 0, 6, 700));
+        let (_, s1) = disk.start(SimTime::ZERO).unwrap();
+        let t1 = match s1 {
+            Service::Media { time, .. } => time,
+            _ => panic!(),
+        };
+        disk.finish(SimTime(1));
+        disk.enqueue(SimTime(10), read(1, 0, 6, 705));
+        let (_, s2) = disk.start(SimTime(1)).unwrap();
+        let t2 = match s2 {
+            Service::Media { time, .. } => time,
+            _ => panic!(),
+        };
+        assert!(t2 < t1, "short seek {t2:?} should beat long seek {t1:?}");
+    }
+
+    #[test]
+    fn busy_disk_does_not_start_twice() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        disk.enqueue(SimTime(2), read(1, 0, 6, 800));
+        assert!(disk.start(SimTime::ZERO).is_some());
+        assert!(disk.start(SimTime::ZERO).is_none(), "busy");
+        disk.finish(SimTime(100));
+        assert!(disk.start(SimTime(100)).is_some());
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        disk.start(SimTime::ZERO).unwrap();
+        disk.finish(SimTime::from_secs(5));
+        let u = disk.utilization(SimTime::from_secs(10));
+        assert!((u - 0.5).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn cancel_queued_drops_only_matching() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        disk.enqueue(SimTime(1), read(7, 0, 6, 700));
+        disk.enqueue(SimTime(2), read(8, 0, 6, 800));
+        let n = disk.cancel_queued(|a| a.file == FileId::Relation(7));
+        assert_eq!(n, 1);
+        assert_eq!(disk.queue_len(), 1);
+    }
+
+    #[test]
+    fn cache_invalidation() {
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let temp = FileId::Temp(3);
+        let mut acc = read(0, 0, 6, 100);
+        acc.file = temp;
+        disk.enqueue(SimTime(1), acc.clone());
+        disk.start(SimTime::ZERO).unwrap();
+        disk.finish(SimTime(10));
+        disk.invalidate(temp);
+        disk.enqueue(SimTime(1), acc);
+        let (_, s) = disk.start(SimTime(10)).unwrap();
+        assert!(matches!(s, Service::Media { .. }), "invalidated line must miss");
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity_pressure() {
+        // Cache holds 32/6 = 5 blocks; touching 6 distinct blocks evicts the
+        // first.
+        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut t = 0u64;
+        for b in 0..6u32 {
+            disk.enqueue(SimTime(1), read(0, b * 6, 6, 700));
+            disk.start(SimTime(t)).unwrap();
+            t += 100;
+            disk.finish(SimTime(t));
+        }
+        // Block 0 was evicted.
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        let (_, s) = disk.start(SimTime(t)).unwrap();
+        assert!(matches!(s, Service::Media { .. }));
+    }
+
+    #[test]
+    fn farm_mean_and_max_utilization() {
+        let mut farm = DiskFarm::new(2, DiskGeometry::default(), 6, SimTime::ZERO);
+        farm.disk_mut(0).enqueue(SimTime(1), read(0, 0, 6, 700));
+        farm.disk_mut(0).start(SimTime::ZERO).unwrap();
+        farm.disk_mut(0).finish(SimTime::from_secs(10));
+        let now = SimTime::from_secs(10);
+        assert!((farm.mean_utilization(now) - 0.5).abs() < 1e-9);
+        assert!((farm.max_utilization(now) - 1.0).abs() < 1e-9);
+    }
+}

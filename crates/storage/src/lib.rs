@@ -1,0 +1,25 @@
+//! `storage` — the disk subsystem of the RTDBS simulator (Section 4.2).
+//!
+//! This crate models the physical storage substrate the paper's simulator
+//! relies on:
+//!
+//! * [`geometry::DiskGeometry`] — seek/rotation/transfer service times with
+//!   `Seek(n) = SeekFactor·√n` \[Bitt88\] and Table 3 defaults.
+//! * [`queue::DiskQueue`] — per-disk Earliest-Deadline queues with elevator
+//!   (SCAN) ordering among requests of equal priority.
+//! * [`disk::Disk`] / [`disk::DiskFarm`] — the disks themselves, each with a
+//!   256 KB prefetch cache that fetches `BlockSize` pages on sequential read
+//!   misses.
+//! * [`layout::Layout`] — database layout: relation groups placed on middle
+//!   cylinders, temporary files on the inner/outer cylinders, exactly as in
+//!   Section 4.1.
+
+pub mod disk;
+pub mod geometry;
+pub mod layout;
+pub mod queue;
+
+pub use disk::{Access, Disk, DiskFarm, IoKind, Service};
+pub use geometry::DiskGeometry;
+pub use layout::{DiskId, FileId, FileMeta, Layout, RelationGroupSpec, RelationMeta};
+pub use queue::{DiskQueue, QueuedRequest};

@@ -1,0 +1,217 @@
+//! Per-disk request queue: Earliest Deadline across priorities, elevator
+//! (SCAN) within a priority level.
+//!
+//! Section 4.2: "Every disk manages its own queue by the ED policy; any disk
+//! requests that ED assigns the same priority to are serviced according to
+//! the elevator algorithm."
+
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// A queued disk request. `T` is the caller's tag (the simulator uses it to
+/// route the completion back to the owning query).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueuedRequest<T> {
+    /// ED priority: the owning query's deadline (earlier = more urgent).
+    pub deadline: SimTime,
+    /// Target cylinder of the access.
+    pub cylinder: u32,
+    /// Caller tag.
+    pub tag: T,
+}
+
+/// ED + elevator queue for one disk.
+#[derive(Debug)]
+pub struct DiskQueue<T> {
+    /// deadline → (cylinder → FIFO of requests at that cylinder).
+    levels: BTreeMap<SimTime, BTreeMap<u32, Vec<QueuedRequest<T>>>>,
+    len: usize,
+    /// Elevator sweep direction: true = ascending cylinder numbers.
+    ascending: bool,
+}
+
+impl<T> Default for DiskQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DiskQueue<T> {
+    /// An empty queue sweeping upward.
+    pub fn new() -> Self {
+        DiskQueue {
+            levels: BTreeMap::new(),
+            len: 0,
+            ascending: true,
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue a request.
+    pub fn push(&mut self, request: QueuedRequest<T>) {
+        self.levels
+            .entry(request.deadline)
+            .or_default()
+            .entry(request.cylinder)
+            .or_default()
+            .push(request);
+        self.len += 1;
+    }
+
+    /// Dequeue the next request to service given the current head position.
+    ///
+    /// The most urgent deadline level is selected first (ED); within that
+    /// level the elevator picks the nearest cylinder in the current sweep
+    /// direction, reversing direction at the end of a sweep.
+    pub fn pop(&mut self, head: u32) -> Option<QueuedRequest<T>> {
+        let (&deadline, level) = self.levels.iter_mut().next()?;
+        // Elevator within the level: nearest cylinder ≥ head when ascending,
+        // ≤ head when descending; reverse if the sweep is exhausted.
+        let chosen_cyl = if self.ascending {
+            level.range(head..).next().map(|(&c, _)| c).or_else(|| {
+                self.ascending = false;
+                level.range(..=head).next_back().map(|(&c, _)| c)
+            })
+        } else {
+            level.range(..=head).next_back().map(|(&c, _)| c).or_else(|| {
+                self.ascending = true;
+                level.range(head..).next().map(|(&c, _)| c)
+            })
+        };
+        let cyl = chosen_cyl.expect("non-empty level has a cylinder");
+        let bucket = level.get_mut(&cyl).expect("bucket exists");
+        let request = bucket.remove(0);
+        if bucket.is_empty() {
+            level.remove(&cyl);
+        }
+        if level.is_empty() {
+            self.levels.remove(&deadline);
+        }
+        self.len -= 1;
+        Some(request)
+    }
+
+    /// Remove every request whose tag fails `keep` (e.g. requests of an
+    /// aborted query). Returns the removed requests.
+    pub fn drain_where<F: Fn(&T) -> bool>(&mut self, remove: F) -> Vec<QueuedRequest<T>> {
+        let mut removed = Vec::new();
+        self.levels.retain(|_, level| {
+            level.retain(|_, bucket| {
+                let mut kept = Vec::with_capacity(bucket.len());
+                for req in bucket.drain(..) {
+                    if remove(&req.tag) {
+                        removed.push(req);
+                    } else {
+                        kept.push(req);
+                    }
+                }
+                *bucket = kept;
+                !bucket.is_empty()
+            });
+            !level.is_empty()
+        });
+        self.len -= removed.len();
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(deadline: u64, cylinder: u32, tag: u32) -> QueuedRequest<u32> {
+        QueuedRequest { deadline: SimTime(deadline), cylinder, tag }
+    }
+
+    #[test]
+    fn earliest_deadline_first() {
+        let mut q = DiskQueue::new();
+        q.push(req(300, 10, 1));
+        q.push(req(100, 900, 2));
+        q.push(req(200, 20, 3));
+        assert_eq!(q.pop(0).unwrap().tag, 2);
+        assert_eq!(q.pop(0).unwrap().tag, 3);
+        assert_eq!(q.pop(0).unwrap().tag, 1);
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn elevator_within_same_deadline() {
+        let mut q = DiskQueue::new();
+        // All same deadline; head at 500 sweeping up: expect 600, 900, then
+        // reverse to 400, 100.
+        for (cyl, tag) in [(900, 1), (400, 2), (600, 3), (100, 4)] {
+            q.push(req(50, cyl, tag));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            // In a real disk the head moves to each serviced cylinder; emulate.
+            None::<u32>
+        })
+        .collect();
+        drop(order);
+        let mut head = 500;
+        let mut tags = Vec::new();
+        while let Some(r) = q.pop(head) {
+            head = r.cylinder;
+            tags.push(r.tag);
+        }
+        assert_eq!(tags, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn elevator_reverses_and_recovers() {
+        let mut q = DiskQueue::new();
+        q.push(req(50, 100, 1));
+        let mut head = 500;
+        // Nothing above 500: the elevator reverses and picks 100.
+        let r = q.pop(head).unwrap();
+        assert_eq!(r.tag, 1);
+        head = r.cylinder;
+        // Now descending; a request above the head flips it back.
+        q.push(req(50, 800, 2));
+        assert_eq!(q.pop(head).unwrap().tag, 2);
+    }
+
+    #[test]
+    fn same_cylinder_fifo() {
+        let mut q = DiskQueue::new();
+        q.push(req(50, 42, 1));
+        q.push(req(50, 42, 2));
+        q.push(req(50, 42, 3));
+        assert_eq!(q.pop(0).unwrap().tag, 1);
+        assert_eq!(q.pop(42).unwrap().tag, 2);
+        assert_eq!(q.pop(42).unwrap().tag, 3);
+    }
+
+    #[test]
+    fn drain_removes_aborted_query() {
+        let mut q = DiskQueue::new();
+        q.push(req(10, 1, 7));
+        q.push(req(20, 2, 8));
+        q.push(req(30, 3, 7));
+        let removed = q.drain_where(|&tag| tag == 7);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(0).unwrap().tag, 8);
+    }
+
+    #[test]
+    fn len_tracks_push_pop() {
+        let mut q = DiskQueue::new();
+        assert!(q.is_empty());
+        q.push(req(1, 1, 1));
+        q.push(req(2, 2, 2));
+        assert_eq!(q.len(), 2);
+        q.pop(0);
+        assert_eq!(q.len(), 1);
+    }
+}

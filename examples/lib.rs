@@ -1,0 +1,26 @@
+//! Shared helpers for the runnable examples.
+
+use pmm_core::prelude::*;
+
+/// Print a one-line summary of a run, shared by the examples.
+pub fn summarize(label: &str, r: &RunReport) {
+    println!(
+        "{label:<14} miss {:>5.1}%  MPL {:>5.1}  cpu {:>4.1}%  disk {:>4.1}%  wait {:>6.1}s  exec {:>6.1}s",
+        r.miss_pct(),
+        r.avg_mpl,
+        100.0 * r.cpu_util,
+        100.0 * r.disk_util,
+        r.timings.waiting,
+        r.timings.execution,
+    );
+}
+
+/// Parse `--secs N` style overrides from the example command line.
+pub fn secs_arg(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,35 @@
+//! Quickstart: simulate the paper's baseline workload under PMM and print
+//! the headline metrics.
+//!
+//! ```text
+//! cargo run --release -p pmm-examples --example quickstart [-- --secs 36000]
+//! ```
+
+use pmm_core::prelude::*;
+use pmm_examples::{secs_arg, summarize};
+
+fn main() {
+    // One class of hash joins: ‖R‖ ∈ [600, 1800] pages, ‖S‖ ∈ [3000, 9000],
+    // slack ratios in [2.5, 7.5] — Table 6 of the paper.
+    let mut cfg = SimConfig::baseline(0.06);
+    cfg.duration_secs = secs_arg(3_600.0);
+
+    // PMM with the Table 1 defaults: SampleSize 30, desirable utilization
+    // [0.70, 0.85], adaptation tests at 95%, change detection at 99%.
+    let report = run_simulation(cfg, Box::new(Pmm::with_defaults()));
+
+    println!("PMM on the baseline workload (λ = 0.06 queries/s):");
+    summarize("PMM", &report);
+    println!("\nPMM decision trace:");
+    for p in report.trace.iter().take(12) {
+        println!(
+            "  t={:>7.0}s  mode={:<7} target MPL={}",
+            p.at.as_secs_f64(),
+            p.mode.to_string(),
+            p.target_mpl.map_or("unbounded".into(), |m| m.to_string()),
+        );
+    }
+    if report.trace.len() > 12 {
+        println!("  ... {} more decisions", report.trace.len() - 12);
+    }
+}

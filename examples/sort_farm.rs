@@ -1,0 +1,25 @@
+//! Section 5.5: the baseline experiment re-run with external sorts instead
+//! of hash joins — memory is even more critical because sorts place less
+//! load on the disks, so Max's conservative admission hurts more
+//! (Figure 16).
+
+use pmm_core::prelude::*;
+use pmm_examples::{secs_arg, summarize};
+
+fn main() {
+    let secs = secs_arg(3_600.0);
+    for rate in [0.06, 0.10] {
+        println!("External sorts, λ = {rate} queries/s:");
+        let policies: Vec<(&str, Box<dyn MemoryPolicy>)> = vec![
+            ("Max", Box::new(MaxPolicy)),
+            ("MinMax", Box::new(pmm_core::pmm::MinMaxPolicy::unlimited())),
+            ("PMM", Box::new(Pmm::with_defaults())),
+        ];
+        for (name, policy) in policies {
+            let mut cfg = SimConfig::sorts(rate);
+            cfg.duration_secs = secs;
+            summarize(name, &run_simulation(cfg, policy));
+        }
+        println!();
+    }
+}

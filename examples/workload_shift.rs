@@ -1,0 +1,35 @@
+//! Section 5.3: the workload alternates between Small and Medium join
+//! classes every 2–5 simulated hours; PMM must detect each shift, restart
+//! its statistics, and re-adapt (Figures 12–15).
+
+use pmm_core::prelude::*;
+use pmm_examples::secs_arg;
+
+fn main() {
+    let mut cfg = SimConfig::workload_changes();
+    cfg.duration_secs = secs_arg(cfg.duration_secs);
+    cfg.window_secs = 2_400.0;
+    let report = run_simulation(cfg, Box::new(Pmm::with_defaults()));
+
+    println!("PMM under the alternating Small/Medium workload:\n");
+    println!("{:>9} {:>8} {:>8} {:>8}", "t (s)", "served", "missed", "miss %");
+    for w in &report.windows {
+        println!(
+            "{:>9.0} {:>8} {:>8} {:>8.1}",
+            w.t_secs, w.served, w.missed, w.miss_pct()
+        );
+    }
+    println!("\nPer-class outcome:");
+    for c in &report.classes {
+        println!("  {:<8} served {:>6}  miss {:>5.1}%", c.name, c.served, c.miss_pct());
+    }
+    println!("\nMode/MPL decisions (Figure 15):");
+    for p in &report.trace {
+        println!(
+            "  t={:>7.0}s  {:<7} target={}",
+            p.at.as_secs_f64(),
+            p.mode.to_string(),
+            p.target_mpl.map_or("-".into(), |m| m.to_string()),
+        );
+    }
+}

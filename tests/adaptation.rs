@@ -1,0 +1,80 @@
+//! PMM's adaptive behaviour on full simulations: strategy switching,
+//! convergence, and workload-change detection.
+
+use integration_tests::short_baseline;
+use pmm_core::pmm::StrategyMode;
+use pmm_core::prelude::*;
+
+#[test]
+fn pmm_switches_to_minmax_on_memory_bound_baseline() {
+    // Memory-bound, under-utilized disks, misses present: all four switch
+    // conditions of Section 3.2 eventually hold.
+    let r = run_simulation(short_baseline(0.06, 6_000.0), Box::new(Pmm::with_defaults()));
+    assert!(
+        r.trace.iter().any(|p| p.mode == StrategyMode::MinMax),
+        "PMM must leave Max mode on the baseline; trace: {:?}",
+        r.trace
+    );
+}
+
+#[test]
+fn pmm_tracks_the_better_static_policy_on_the_baseline() {
+    let secs = 9_000.0;
+    let pmm = run_simulation(short_baseline(0.05, secs), Box::new(Pmm::with_defaults()));
+    let max = run_simulation(short_baseline(0.05, secs), Box::new(MaxPolicy));
+    let minmax = run_simulation(
+        short_baseline(0.05, secs),
+        Box::new(pmm_core::pmm::MinMaxPolicy::unlimited()),
+    );
+    let best = max.miss_pct().min(minmax.miss_pct());
+    let worst = max.miss_pct().max(minmax.miss_pct());
+    // PMM needs the first Max-mode batches to learn, so allow slack, but it
+    // must land far closer to the better policy than to the worse one.
+    assert!(
+        pmm.miss_pct() <= (best + worst) / 2.0,
+        "PMM {:.1}% vs best {best:.1}% / worst {worst:.1}%",
+        pmm.miss_pct()
+    );
+}
+
+#[test]
+fn pmm_detects_workload_changes() {
+    let mut cfg = SimConfig::workload_changes();
+    // Two phases are enough to see a restart.
+    cfg.duration_secs = 26_000.0;
+    let r = run_simulation(cfg, Box::new(Pmm::with_defaults()));
+    // The phase switch at t = 9000 s (Medium → Small) must show up as a
+    // restart (a Max-mode trace point) after that time.
+    assert!(
+        r.trace
+            .iter()
+            .any(|p| p.at.as_secs_f64() > 9_000.0 && p.mode == StrategyMode::Max),
+        "no restart after the workload switch; trace: {:?}",
+        r.trace
+    );
+}
+
+#[test]
+fn util_low_setting_barely_matters() {
+    // Section 5.4: PMM is insensitive to UtilLow because the RU heuristic
+    // only steers the very first MinMax batches.
+    let mut results = Vec::new();
+    for util_low in [0.5, 0.8] {
+        let params = pmm_core::pmm::PmmParams { util_low, ..Default::default() };
+        let r = run_simulation(short_baseline(0.05, 6_000.0), Box::new(Pmm::new(params)));
+        results.push(r.miss_pct());
+    }
+    let spread = (results[0] - results[1]).abs();
+    assert!(
+        spread < 12.0,
+        "UtilLow ∈ {{0.5, 0.8}} changed the miss ratio by {spread:.1} points: {results:?}"
+    );
+}
+
+#[test]
+fn pmm_trace_is_monotonic_in_time() {
+    let r = run_simulation(short_baseline(0.06, 5_000.0), Box::new(Pmm::with_defaults()));
+    for pair in r.trace.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "trace must be time-ordered");
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use pmm_core::prelude::*;
+
+/// A short baseline configuration sized for test runtimes: same model as
+/// the paper's Section 5.1 setup, shorter horizon.
+pub fn short_baseline(rate: f64, secs: f64) -> SimConfig {
+    let mut cfg = SimConfig::baseline(rate);
+    cfg.duration_secs = secs;
+    cfg.window_secs = secs / 4.0;
+    cfg
+}

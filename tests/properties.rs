@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) on the core invariants: allocation
+//! algorithms, operator I/O accounting, least-squares fits, and the event
+//! calendar.
+
+use pmm_core::exec::{Action, ExecConfig, FileRef, HashJoin, Operator};
+use pmm_core::pmm::{max_allocate, minmax_allocate, proportional_allocate};
+use pmm_core::pmm::{QueryDemand, QueryId};
+use pmm_core::simkit::{Calendar, SimTime};
+use pmm_core::stats::{LinFit, QuadFit};
+use pmm_core::storage::{FileId, IoKind};
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = QueryDemand> {
+    (0u64..64, 0u64..10_000, 1u32..200, 0u32..2_000).prop_map(|(id, dl, min, extra)| {
+        QueryDemand {
+            id: QueryId(id),
+            deadline: SimTime(dl),
+            min_mem: min,
+            max_mem: min + extra,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocators_never_overcommit(
+        mut demands in proptest::collection::vec(demand_strategy(), 0..40),
+        total in 0u32..20_000,
+        limit in proptest::option::of(0u32..30),
+    ) {
+        // Deduplicate ids (the map-based grant application requires it).
+        demands.sort_by_key(|d| d.id);
+        demands.dedup_by_key(|d| d.id);
+        for grants in [
+            max_allocate(&demands, total),
+            minmax_allocate(&demands, total, limit),
+            proportional_allocate(&demands, total, limit),
+        ] {
+            let sum: u64 = grants.iter().map(|&(_, p)| p as u64).sum();
+            prop_assert!(sum <= total as u64, "overcommitted {sum} > {total}");
+            for (id, pages) in &grants {
+                let d = demands.iter().find(|d| d.id == *id).expect("real query");
+                prop_assert!(*pages >= d.min_mem && *pages <= d.max_mem);
+            }
+            // No duplicate grants.
+            let mut ids: Vec<_> = grants.iter().map(|&(id, _)| id).collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), grants.len());
+        }
+    }
+
+    #[test]
+    fn minmax_grants_are_ed_monotone(
+        mut demands in proptest::collection::vec(demand_strategy(), 2..30),
+        total in 100u32..20_000,
+    ) {
+        demands.sort_by_key(|d| d.id);
+        demands.dedup_by_key(|d| d.id);
+        let grants = minmax_allocate(&demands, total, None);
+        // In deadline order, the fraction of the maximum granted is
+        // non-increasing except at the single boundary query: once some
+        // query is below its max, everyone later is at their min.
+        let mut sorted = demands.clone();
+        sorted.sort_by_key(|d| (d.deadline, d.id));
+        let mut seen_partial = false;
+        for d in &sorted {
+            let Some(&(_, pages)) = grants.iter().find(|&&(id, _)| id == d.id) else {
+                break;
+            };
+            if seen_partial {
+                prop_assert_eq!(pages, d.min_mem, "after the boundary only minimums");
+            }
+            if pages < d.max_mem {
+                seen_partial = true;
+            }
+        }
+    }
+
+    #[test]
+    fn join_io_conservation(
+        r in 10u32..400,
+        s_mult in 1u32..8,
+        alloc_frac in 0.0f64..1.0,
+    ) {
+        // For any fixed allocation between min and max: every temp page
+        // written is read back exactly once (within block rounding), and
+        // the operands are read exactly once.
+        let s = r * s_mult;
+        let cfg = ExecConfig::default();
+        let mut op = HashJoin::new(cfg, FileId::Relation(0), r, FileId::Relation(1), s);
+        let span = op.max_memory() - op.min_memory();
+        let alloc = op.min_memory() + (span as f64 * alloc_frac) as u32;
+        op.set_allocation(alloc);
+        let (mut base_r, mut temp_r, mut temp_w) = (0u32, 0u32, 0u32);
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 5_000_000, "runaway operator");
+            match op.step() {
+                Action::Io(io) => match (io.file, io.kind) {
+                    (FileRef::Base(_), IoKind::Read) => base_r += io.pages,
+                    (FileRef::Temp(_), IoKind::Read) => temp_r += io.pages,
+                    (FileRef::Temp(_), IoKind::Write) => temp_w += io.pages,
+                    _ => prop_assert!(false, "unexpected I/O"),
+                },
+                Action::Finished => break,
+                Action::Parked => prop_assert!(false, "parked with memory"),
+                _ => {}
+            }
+        }
+        prop_assert_eq!(base_r, r + s, "operands read exactly once");
+        let imbalance = (temp_r as i64 - temp_w as i64).unsigned_abs();
+        prop_assert!(imbalance <= 12, "spill imbalance {imbalance}: w={temp_w} r={temp_r}");
+    }
+
+    #[test]
+    fn quadfit_interpolates_three_points(
+        xs in proptest::collection::hash_set(-50i32..50, 3),
+        ys in proptest::collection::vec(-100f64..100.0, 3),
+    ) {
+        // Three distinct x values determine the quadratic exactly.
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let mut fit = QuadFit::new();
+        for (x, y) in xs.iter().zip(&ys) {
+            fit.add(*x, *y);
+        }
+        if let Some(q) = fit.solve() {
+            for (x, y) in xs.iter().zip(&ys) {
+                prop_assert!((q.eval(*x) - y).abs() < 1e-4 * (1.0 + y.abs()),
+                    "interpolation failed at {x}: {} vs {y}", q.eval(*x));
+            }
+        }
+    }
+
+    #[test]
+    fn linfit_residuals_sum_to_zero(
+        pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 1..40),
+    ) {
+        let mut fit = LinFit::new();
+        for &(x, y) in &pts {
+            fit.add(x, y);
+        }
+        let (a, b) = fit.solve().expect("non-empty");
+        let residual_sum: f64 = pts.iter().map(|&(x, y)| y - (a + b * x)).sum();
+        let scale: f64 = 1.0 + pts.iter().map(|&(_, y)| y.abs()).sum::<f64>();
+        prop_assert!(residual_sum.abs() < 1e-6 * scale, "residual sum {residual_sum}");
+    }
+
+    #[test]
+    fn calendar_pops_in_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}
