@@ -1,38 +1,223 @@
-//! `experiments` — regenerate every table and figure of the paper.
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! Two modes:
+//!
+//! **Driver mode** (`--figure`): the parallel multi-seed experiment driver.
+//! Shards a figure's cells across a thread pool, one independently seeded
+//! replication per `--seeds`, merges the per-seed reports into batch-means
+//! confidence intervals, and writes machine-readable `BENCH_<figure>.json`.
+//! The merged output is byte-identical for any `--threads` value.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- --figure fig3 --seeds 8 --threads 4
+//! cargo run --release -p bench --bin experiments -- --figure all --smoke
+//! ```
+//!
+//! Flags: `--figure <fig3|fig8|fig11|fig12|fig16|fig17|all>` (repeatable),
+//! `--seeds N` (default 8), `--threads N` (default: available cores),
+//! `--secs S` (default 3600), `--master-seed S` (default 1994),
+//! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
+//! smoke configuration).
+//!
+//! **Report mode** (positional artifact name): the original single-seed
+//! text reports in the paper's layout.
 //!
 //! ```text
 //! cargo run --release -p bench --bin experiments -- all [--secs N]
 //! cargo run --release -p bench --bin experiments -- fig3 --secs 36000
 //! ```
 //!
-//! Artifacts: fig3 fig4 fig5 table7 fig6 fig7 fig8 fig9 fig10 fig11
-//! fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
+//! Report-mode artifacts: fig3 fig4 fig5 table7 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
 
+use bench::driver::{run_figure, DriverConfig, FIGURES};
 use bench::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
+/// Flags that take a value, in both modes.
+const VALUE_FLAGS: [&str; 6] = [
+    "--figure",
+    "--seeds",
+    "--threads",
+    "--secs",
+    "--master-seed",
+    "--out",
+];
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().cloned().unwrap_or_else(|| "all".into());
-    let secs = args
-        .iter()
-        .position(|a| a == "--secs")
+/// Artifact names accepted by report mode.
+const ARTIFACTS: [&str; 18] = [
+    "fig3", "fig4", "fig5", "table7", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12_14", "fig15", "fig16", "fig17", "fig18", "util_low", "scale", "ablation",
+];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3_600.0);
+        .cloned()
+}
+
+/// Parse a flag's value; a present-but-unparsable value is an error, not a
+/// silent fallback to the default.
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for {flag}")),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn run_driver(args: &[String]) -> Result<(), String> {
+    // Strict scan: collect `--figure` values, reject unknown flags and stray
+    // positionals (a positional artifact name belongs to report mode — mixing
+    // the modes would silently drop it otherwise).
+    let mut figures: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--figure" {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => figures.push(v.clone()),
+                _ => return Err("--figure requires a value".into()),
+            }
+            i += 2;
+        } else if a == "--smoke" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a.as_str()) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a} requires a value"));
+            }
+            i += 2;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a}"));
+        } else {
+            return Err(format!(
+                "unexpected positional argument {a:?} in driver mode; \
+                 use `--figure {a}` (driver) or drop the driver flags (report mode)"
+            ));
+        }
+    }
+    // Bare `--smoke` (or explicit `all`) means the full sweep.
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = FIGURES.iter().map(|f| (*f).to_string()).collect();
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = DriverConfig {
+        seeds: if smoke {
+            1
+        } else {
+            parse_flag(args, "--seeds", 8)?
+        },
+        threads: parse_flag(args, "--threads", default_threads())?,
+        secs: if smoke {
+            300.0
+        } else {
+            parse_flag(args, "--secs", 3_600.0)?
+        },
+        master_seed: parse_flag(args, "--master-seed", 1994)?,
+    };
+    if cfg.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if cfg.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if !(cfg.secs > 0.0 && cfg.secs.is_finite()) {
+        return Err("--secs must be a positive number".into());
+    }
+    let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
+
+    for figure in &figures {
+        let started = std::time::Instant::now();
+        let result = run_figure(figure, cfg)?;
+        print!("{}", result.render());
+        let path = out_dir.join(format!("BENCH_{figure}.json"));
+        std::fs::write(&path, result.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "wrote {} ({} cells × {} seeds, {:.1}s wall on {} threads)\n",
+            path.display(),
+            result.cells.len(),
+            cfg.seeds,
+            started.elapsed().as_secs_f64(),
+            cfg.threads,
+        );
+    }
+    Ok(())
+}
+
+fn run_reports(args: &[String]) -> Result<(), String> {
+    let what = args.first().cloned().unwrap_or_else(|| "all".into());
+    if what != "all" && !ARTIFACTS.contains(&what.as_str()) {
+        return Err(format!(
+            "unknown artifact {what:?}; known artifacts: all, {}",
+            ARTIFACTS.join(", ")
+        ));
+    }
+    let secs = parse_flag(args, "--secs", 3_600.0)?;
 
     let run = |name: &str| what == "all" || what == name;
 
     if run("fig3") || run("fig4") || run("fig5") || run("table7") || run("fig7") {
         let rows = baseline_sweep(secs);
-        print!("{}", render_sweep("Figure 3: Miss Ratio (Baseline)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
-        print!("{}", render_sweep("Figure 4: Disk Utilization (Baseline)", "rate q/s", &rows, |r| 100.0 * r.disk_util, "% busy"));
-        print!("{}", render_sweep("Figure 5: Average MPL (Baseline)", "rate q/s", &rows, |r| r.avg_mpl, "queries"));
-        print!("{}", render_sweep("Figure 7: Memory Fluctuations (Baseline)", "rate q/s", &rows, |r| r.avg_fluctuations, "changes/query"));
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 3: Miss Ratio (Baseline)",
+                "rate q/s",
+                &rows,
+                |r| r.miss_pct(),
+                "% missed"
+            )
+        );
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 4: Disk Utilization (Baseline)",
+                "rate q/s",
+                &rows,
+                |r| 100.0 * r.disk_util,
+                "% busy"
+            )
+        );
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 5: Average MPL (Baseline)",
+                "rate q/s",
+                &rows,
+                |r| r.avg_mpl,
+                "queries"
+            )
+        );
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 7: Memory Fluctuations (Baseline)",
+                "rate q/s",
+                &rows,
+                |r| r.avg_fluctuations,
+                "changes/query"
+            )
+        );
         println!("== Table 7: Average Timings (seconds) ==");
         for row in rows.iter().filter(|r| [0.04, 0.06, 0.08].contains(&r.x)) {
             println!("arrival rate {:.2}:", row.x);
-            println!("  {:<14} {:>9} {:>10} {:>9}", "algorithm", "waiting", "execution", "total");
+            println!(
+                "  {:<14} {:>9} {:>10} {:>9}",
+                "algorithm", "waiting", "execution", "total"
+            );
             for (name, r) in &row.reports {
                 println!(
                     "  {:<14} {:>9.1} {:>10.1} {:>9.1}",
@@ -60,31 +245,87 @@ fn main() {
 
     if run("fig8") || run("fig9") || run("fig10") {
         let rows = contention_sweep(secs, 2);
-        print!("{}", render_sweep("Figure 8: Miss Ratio (Disk Contention, 6 disks)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
-        print!("{}", render_sweep("Figure 9: Disk Utilization (Disk Contention)", "rate q/s", &rows, |r| 100.0 * r.disk_util, "% busy"));
-        print!("{}", render_sweep("Figure 10: Average MPL (Disk Contention)", "rate q/s", &rows, |r| r.avg_mpl, "queries"));
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 8: Miss Ratio (Disk Contention, 6 disks)",
+                "rate q/s",
+                &rows,
+                |r| r.miss_pct(),
+                "% missed"
+            )
+        );
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 9: Disk Utilization (Disk Contention)",
+                "rate q/s",
+                &rows,
+                |r| 100.0 * r.disk_util,
+                "% busy"
+            )
+        );
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 10: Average MPL (Disk Contention)",
+                "rate q/s",
+                &rows,
+                |r| r.avg_mpl,
+                "queries"
+            )
+        );
     }
 
     if run("fig11") {
         println!("== Figure 11: MinMax-N sweep (λ = 0.07, 6 disks) ==");
-        println!("{:>5} {:>10} {:>8} {:>10}", "N", "miss %", "MPL", "disk util");
-        for (n, r) in fig11(secs, &[2, 3, 4, 6, 8, 10, 15, 20]) {
-            println!("{:>5} {:>10.1} {:>8.1} {:>10.2}", n, r.miss_pct(), r.avg_mpl, r.disk_util);
+        println!(
+            "{:>5} {:>10} {:>8} {:>10}",
+            "N", "miss %", "MPL", "disk util"
+        );
+        for (n, r) in fig11(secs, &FIG11_LIMITS) {
+            println!(
+                "{:>5} {:>10.1} {:>8.1} {:>10.2}",
+                n,
+                r.miss_pct(),
+                r.avg_mpl,
+                r.disk_util
+            );
         }
         println!();
     }
 
     if run("fig12_14") || run("fig15") {
-        let reports = workload_changes(if what == "all" { Some(secs.max(7_200.0)) } else { None });
+        let reports = workload_changes(if what == "all" {
+            Some(secs.max(7_200.0))
+        } else {
+            None
+        });
         for (name, r) in &reports {
-            println!("== Figures 12–14: {name} miss-ratio time series (workload changes) ==");
-            println!("{:>10} {:>8} {:>8} {:>8}", "t (s)", "served", "missed", "miss %");
+            println!(
+                "== Figures 12–14: {name} miss-ratio time series (workload changes) =="
+            );
+            println!(
+                "{:>10} {:>8} {:>8} {:>8}",
+                "t (s)", "served", "missed", "miss %"
+            );
             for w in &r.windows {
-                println!("{:>10.0} {:>8} {:>8} {:>8.1}", w.t_secs, w.served, w.missed, w.miss_pct());
+                println!(
+                    "{:>10.0} {:>8} {:>8} {:>8.1}",
+                    w.t_secs,
+                    w.served,
+                    w.missed,
+                    w.miss_pct()
+                );
             }
             println!("overall: {:.1}%", r.miss_pct());
             for c in &r.classes {
-                println!("  class {:<8} served {:>5}  miss {:>5.1}%", c.name, c.served, c.miss_pct());
+                println!(
+                    "  class {:<8} served {:>5}  miss {:>5.1}%",
+                    c.name,
+                    c.served,
+                    c.miss_pct()
+                );
             }
             if name == "PMM" {
                 println!("== Figure 15: PMM MPL trace (workload changes) ==");
@@ -103,16 +344,38 @@ fn main() {
 
     if run("fig16") {
         let rows = fig16(secs);
-        print!("{}", render_sweep("Figure 16: Miss Ratio (External Sort)", "rate q/s", &rows, |r| r.miss_pct(), "% missed"));
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 16: Miss Ratio (External Sort)",
+                "rate q/s",
+                &rows,
+                |r| r.miss_pct(),
+                "% missed"
+            )
+        );
     }
 
     if run("fig17") || run("fig18") {
         let rows = multiclass_sweep(secs);
-        print!("{}", render_sweep("Figure 17: System Miss Ratio (Multiclass)", "Small q/s", &rows, |r| r.miss_pct(), "% missed"));
+        print!(
+            "{}",
+            render_sweep(
+                "Figure 17: System Miss Ratio (Multiclass)",
+                "Small q/s",
+                &rows,
+                |r| r.miss_pct(),
+                "% missed"
+            )
+        );
         println!("== Figure 18: Class Miss Ratios under PMM (Multiclass) ==");
         println!("{:>10} {:>10} {:>10}", "Small q/s", "Medium %", "Small %");
         for row in &rows {
-            let pmm = row.reports.iter().find(|(n, _)| n == "PMM").expect("PMM ran");
+            let pmm = row
+                .reports
+                .iter()
+                .find(|(n, _)| n == "PMM")
+                .expect("PMM ran");
             let med = pmm.1.classes.first().map_or(0.0, |c| c.miss_pct());
             let small = pmm.1.classes.get(1).map_or(0.0, |c| c.miss_pct());
             println!("{:>10.2} {:>10.1} {:>10.1}", row.x, med, small);
@@ -131,9 +394,17 @@ fn main() {
 
     if run("scale") {
         println!("== Section 5.7: scale-down check (sizes ÷10, rates ×10) ==");
-        println!("{:<8} {:>12} {:>12}", "policy", "full miss %", "small miss %");
+        println!(
+            "{:<8} {:>12} {:>12}",
+            "policy", "full miss %", "small miss %"
+        );
         for (name, full, small) in scale_check(secs) {
-            println!("{:<8} {:>12.1} {:>12.1}", name, full.miss_pct(), small.miss_pct());
+            println!(
+                "{:<8} {:>12.1} {:>12.1}",
+                name,
+                full.miss_pct(),
+                small.miss_pct()
+            );
         }
         println!();
     }
@@ -143,9 +414,29 @@ fn main() {
         for (firm, r) in ablation_firm_deadlines(secs) {
             println!(
                 "  firm={:<5} miss {:>5.1}%  exec {:>6.1}s  MPL {:>4.1}",
-                firm, r.miss_pct(), r.timings.execution, r.avg_mpl
+                firm,
+                r.miss_pct(),
+                r.timings.execution,
+                r.avg_mpl
             );
         }
         println!();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.iter().any(|a| a == "--figure" || a == "--smoke") {
+        run_driver(&args)
+    } else {
+        run_reports(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

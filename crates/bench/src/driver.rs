@@ -1,0 +1,507 @@
+//! The parallel multi-seed experiment driver.
+//!
+//! The paper's measurement protocol is batched means over long runs; the
+//! modern equivalent — and the Li & Deshpande consensus-over-replications
+//! framing — is many *independently seeded* replications of each experiment
+//! cell, merged into means with confidence intervals. This module shards the
+//! figure experiments across a thread pool, one deterministic
+//! `SeedSequence`-derived RNG stream per replication, and merges the per-seed
+//! [`RunReport`]s into [`simkit::metrics::BatchMeans`] summaries.
+//!
+//! Determinism contract: the merged output (and therefore the emitted JSON)
+//! depends only on `(figure, secs, seeds, master_seed)` — never on the
+//! thread count or on scheduling. Replications are merged in seed order from
+//! a pre-sized result table, so a 4-thread run is byte-identical to a serial
+//! run. `tests/driver_determinism.rs` pins that property.
+
+use crate::make_policy;
+use pmm_core::prelude::*;
+use pmm_core::simkit::metrics::BatchMeans;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Names of the figure experiments the driver knows how to shard.
+pub const FIGURES: [&str; 6] = ["fig3", "fig8", "fig11", "fig12", "fig16", "fig17"];
+
+/// Two-sided 90% Student-t quantile (`t_{0.95, df}`) for the given degrees
+/// of freedom. With a handful of replications the normal quantile (1.645)
+/// understates the interval; this is the correct small-sample width. For
+/// `df > 30` a Cornish–Fisher correction on the normal quantile is accurate
+/// to three decimals.
+pub fn t_quantile_90(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796,
+        1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717,
+        1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ];
+    match df {
+        0 => f64::NAN,
+        1..=30 => TABLE[df - 1],
+        _ => {
+            let z = 1.645;
+            z + (z * z * z + z) / (4.0 * df as f64)
+        }
+    }
+}
+
+/// One experiment cell: a point on a figure's x-axis run under one policy.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// The swept parameter (arrival rate, MinMax N, Small-class rate, ...).
+    pub x: f64,
+    /// Policy short name, as accepted by [`make_policy`].
+    pub policy: String,
+}
+
+/// A figure experiment: its cells plus how to build each cell's config.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    /// Figure name ("fig3", ...).
+    pub name: &'static str,
+    /// Meaning of the x axis, for reports.
+    pub x_label: &'static str,
+    /// The cells, in output order.
+    pub cells: Vec<CellSpec>,
+}
+
+fn cross(xs: &[f64], policies: &[&str]) -> Vec<CellSpec> {
+    xs.iter()
+        .flat_map(|&x| {
+            policies.iter().map(move |&p| CellSpec {
+                x,
+                policy: p.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Look up a figure by name.
+///
+/// # Errors
+/// Returns the list of known figures if `name` is not one of them.
+pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
+    let spec = match name {
+        "fig3" => FigureSpec {
+            name: "fig3",
+            x_label: "arrival rate (queries/s)",
+            cells: cross(&crate::BASELINE_RATES, &crate::BASELINE_POLICIES),
+        },
+        "fig8" => FigureSpec {
+            name: "fig8",
+            x_label: "arrival rate (queries/s)",
+            cells: cross(
+                &crate::BASELINE_RATES,
+                &["Max", "MinMax", "PMM", "MinMax-2"],
+            ),
+        },
+        "fig11" => FigureSpec {
+            name: "fig11",
+            x_label: "MinMax memory limit N",
+            cells: crate::FIG11_LIMITS
+                .iter()
+                .map(|&n| CellSpec {
+                    x: f64::from(n),
+                    policy: format!("MinMax-{n}"),
+                })
+                .collect(),
+        },
+        "fig12" => FigureSpec {
+            name: "fig12",
+            x_label: "(single alternating workload)",
+            cells: cross(&[0.0], &["Max", "MinMax", "PMM"]),
+        },
+        "fig16" => FigureSpec {
+            name: "fig16",
+            x_label: "arrival rate (queries/s)",
+            cells: cross(&crate::SORT_RATES, &crate::BASELINE_POLICIES),
+        },
+        "fig17" => FigureSpec {
+            name: "fig17",
+            x_label: "Small-class arrival rate (queries/s)",
+            cells: cross(&crate::MULTICLASS_SMALL_RATES, &["Max", "MinMax", "PMM"]),
+        },
+        other => {
+            return Err(format!(
+                "unknown figure {other:?}; known figures: {}",
+                FIGURES.join(", ")
+            ))
+        }
+    };
+    Ok(spec)
+}
+
+/// Build the simulation config for one cell of `figure` (seed and duration
+/// are filled in per replication by the driver).
+fn cell_config(figure: &str, x: f64) -> SimConfig {
+    match figure {
+        "fig3" => SimConfig::baseline(x),
+        "fig8" => SimConfig::disk_contention(x),
+        "fig11" => SimConfig::disk_contention(0.07),
+        "fig12" => {
+            let mut cfg = SimConfig::workload_changes();
+            cfg.window_secs = crate::CHANGES_WINDOW_SECS;
+            cfg
+        }
+        "fig16" => SimConfig::sorts(x),
+        "fig17" => SimConfig::multiclass(x),
+        other => unreachable!("figure_spec admitted unknown figure {other}"),
+    }
+}
+
+/// Driver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Independent replications per cell.
+    pub seeds: u64,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Simulated seconds per replication.
+    pub secs: f64,
+    /// Master seed the per-replication streams derive from.
+    pub master_seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            seeds: 8,
+            threads: 1,
+            secs: 3_600.0,
+            master_seed: 1994,
+        }
+    }
+}
+
+/// Mean and 90% batch-means half-width of one metric over the replications.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricSummary {
+    /// Mean over replications.
+    pub mean: f64,
+    /// 90% half-width (`None` with fewer than two replications).
+    pub ci90: Option<f64>,
+}
+
+fn summarize<F: Fn(&RunReport) -> f64>(reports: &[RunReport], f: F) -> MetricSummary {
+    let mut bm = BatchMeans::new(1);
+    for r in reports {
+        bm.record(f(r));
+    }
+    MetricSummary {
+        mean: bm.mean(),
+        ci90: bm.half_width(t_quantile_90(reports.len().saturating_sub(1))),
+    }
+}
+
+/// One cell's merged statistics over all replications.
+#[derive(Clone, Debug)]
+pub struct MergedCell {
+    /// The swept parameter.
+    pub x: f64,
+    /// Policy short name.
+    pub policy: String,
+    /// Replications merged.
+    pub replications: u64,
+    /// Total queries served across replications.
+    pub served: u64,
+    /// Total deadline misses across replications.
+    pub missed: u64,
+    /// Miss ratio (%), mean ± CI over replications.
+    pub miss_pct: MetricSummary,
+    /// Time-averaged MPL.
+    pub avg_mpl: MetricSummary,
+    /// CPU utilization in `[0, 1]`.
+    pub cpu_util: MetricSummary,
+    /// Mean disk utilization in `[0, 1]`.
+    pub disk_util: MetricSummary,
+    /// Admission waiting time (s).
+    pub waiting: MetricSummary,
+    /// Execution time (s).
+    pub execution: MetricSummary,
+    /// Response time (s).
+    pub response: MetricSummary,
+    /// Memory-allocation changes per query.
+    pub avg_fluctuations: MetricSummary,
+}
+
+/// A figure's complete merged result.
+#[derive(Clone, Debug)]
+pub struct FigureResult {
+    /// Figure name.
+    pub figure: &'static str,
+    /// Meaning of the x axis.
+    pub x_label: &'static str,
+    /// Driver parameters the result was produced under.
+    pub config: DriverConfig,
+    /// Merged cells, in the figure's canonical order.
+    pub cells: Vec<MergedCell>,
+}
+
+/// Derive the RNG seed for replication `rep` — stable for a given master
+/// seed, independent of cell, thread count, and scheduling.
+pub fn replication_seed(master_seed: u64, rep: u64) -> u64 {
+    pmm_core::simkit::SeedSequence::new(master_seed)
+        .substream("replication", rep)
+        .next_u64()
+}
+
+/// Run one figure: shard `cells × seeds` simulation units across
+/// `cfg.threads` workers, then merge per cell in seed order.
+///
+/// # Errors
+/// Propagates [`figure_spec`]'s error for unknown figure names.
+///
+/// # Panics
+/// Panics if a worker thread panics (the simulation itself is panic-free on
+/// valid configs).
+pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, String> {
+    let spec = figure_spec(figure)?;
+    let seeds: Vec<u64> = (0..cfg.seeds)
+        .map(|rep| replication_seed(cfg.master_seed, rep))
+        .collect();
+
+    // One unit per (cell, replication); results land in a pre-sized table so
+    // merge order is independent of which worker ran which unit.
+    let units: Vec<(usize, usize)> = (0..spec.cells.len())
+        .flat_map(|c| (0..seeds.len()).map(move |s| (c, s)))
+        .collect();
+    let results: Vec<OnceLock<RunReport>> =
+        units.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+
+    let run_unit = |unit: usize| {
+        let (c, s) = units[unit];
+        let cell = &spec.cells[c];
+        let mut sim = cell_config(spec.name, cell.x);
+        sim.duration_secs = cfg.secs;
+        sim.seed = seeds[s];
+        let report = run_simulation(sim, make_policy(&cell.policy));
+        results[unit]
+            .set(report)
+            .expect("each unit is claimed exactly once");
+    };
+
+    let workers = cfg.threads.max(1).min(units.len().max(1));
+    if workers <= 1 {
+        for unit in 0..units.len() {
+            run_unit(unit);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let unit = next.fetch_add(1, Ordering::Relaxed);
+                    if unit >= units.len() {
+                        break;
+                    }
+                    run_unit(unit);
+                });
+            }
+        });
+    }
+
+    let cells = spec
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(c, cell)| {
+            let reports: Vec<RunReport> = (0..seeds.len())
+                .map(|s| {
+                    results[c * seeds.len() + s]
+                        .get()
+                        .expect("all units completed")
+                        .clone()
+                })
+                .collect();
+            MergedCell {
+                x: cell.x,
+                policy: cell.policy.clone(),
+                replications: reports.len() as u64,
+                served: reports.iter().map(|r| r.served).sum(),
+                missed: reports.iter().map(|r| r.missed).sum(),
+                miss_pct: summarize(&reports, RunReport::miss_pct),
+                avg_mpl: summarize(&reports, |r| r.avg_mpl),
+                cpu_util: summarize(&reports, |r| r.cpu_util),
+                disk_util: summarize(&reports, |r| r.disk_util),
+                waiting: summarize(&reports, |r| r.timings.waiting),
+                execution: summarize(&reports, |r| r.timings.execution),
+                response: summarize(&reports, |r| r.timings.response),
+                avg_fluctuations: summarize(&reports, |r| r.avg_fluctuations),
+            }
+        })
+        .collect();
+
+    Ok(FigureResult {
+        figure: spec.name,
+        x_label: spec.x_label,
+        config: cfg,
+        cells,
+    })
+}
+
+// --- JSON emission (hand-rolled: no registry access, so no serde) ---------
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is shortest-roundtrip formatting: deterministic and exact.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_summary(out: &mut String, name: &str, m: MetricSummary) {
+    out.push_str(&format!("\"{name}\":{{\"mean\":"));
+    push_f64(out, m.mean);
+    out.push_str(",\"ci90\":");
+    match m.ci90 {
+        Some(hw) => push_f64(out, hw),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+impl FigureResult {
+    /// Serialize to the machine-readable `BENCH_<figure>.json` format.
+    ///
+    /// The output is a pure function of the merged statistics — thread count
+    /// and wall-clock time are deliberately excluded so that runs with
+    /// different parallelism are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\n  \"figure\": \"{}\",\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \
+             \"x_label\": \"{}\",\n  \"seeds\": {},\n  \"master_seed\": {},\n  \
+             \"sim_secs\": ",
+            self.figure, self.x_label, self.config.seeds, self.config.master_seed
+        ));
+        push_f64(&mut out, self.config.secs);
+        out.push_str(",\n  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"x\":{:?},\"policy\":\"{}\",\"replications\":{},\
+                 \"served\":{},\"missed\":{},",
+                cell.x, cell.policy, cell.replications, cell.served, cell.missed
+            ));
+            push_summary(&mut out, "miss_pct", cell.miss_pct);
+            out.push(',');
+            push_summary(&mut out, "avg_mpl", cell.avg_mpl);
+            out.push(',');
+            push_summary(&mut out, "cpu_util", cell.cpu_util);
+            out.push(',');
+            push_summary(&mut out, "disk_util", cell.disk_util);
+            out.push(',');
+            push_summary(&mut out, "waiting_secs", cell.waiting);
+            out.push(',');
+            push_summary(&mut out, "execution_secs", cell.execution);
+            out.push(',');
+            push_summary(&mut out, "response_secs", cell.response);
+            out.push(',');
+            push_summary(&mut out, "avg_fluctuations", cell.avg_fluctuations);
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the merged miss-ratio table for terminal output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {} · {} seeds × {:.0} sim-secs (miss % ± 90% CI) ==",
+            self.figure, self.config.seeds, self.config.secs
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14} {:>10} {:>10} {:>8} {:>8}",
+            "x", "policy", "miss %", "±ci90", "MPL", "disk %"
+        );
+        for c in &self.cells {
+            let ci = c
+                .miss_pct
+                .ci90
+                .map_or("-".to_string(), |h| format!("{h:.2}"));
+            let _ = writeln!(
+                out,
+                "{:>10.3} {:>14} {:>10.2} {:>10} {:>8.2} {:>8.1}",
+                c.x,
+                c.policy,
+                c.miss_pct.mean,
+                ci,
+                c.avg_mpl.mean,
+                100.0 * c.disk_util.mean
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_spec_knows_all_figures() {
+        for f in FIGURES {
+            let spec = figure_spec(f).expect("known figure");
+            assert!(!spec.cells.is_empty(), "{f} has cells");
+        }
+        assert!(figure_spec("fig99").is_err());
+    }
+
+    #[test]
+    fn t_quantile_small_sample_widths() {
+        assert!(
+            t_quantile_90(0).is_nan(),
+            "no interval from one replication"
+        );
+        assert!(
+            (t_quantile_90(7) - 1.895).abs() < 1e-9,
+            "default 8 seeds → 7 df"
+        );
+        assert!((t_quantile_90(30) - 1.697).abs() < 1e-9);
+        // Cornish–Fisher tail: t_{0.95,40} ≈ 1.684, and large df → z.
+        assert!((t_quantile_90(40) - 1.684).abs() < 2e-3);
+        assert!((t_quantile_90(100_000) - 1.645).abs() < 1e-4);
+        // Monotone non-increasing in df.
+        for df in 1..100 {
+            assert!(t_quantile_90(df) >= t_quantile_90(df + 1));
+        }
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..16).map(|r| replication_seed(1994, r)).collect();
+        let b: Vec<u64> = (0..16).map(|r| replication_seed(1994, r)).collect();
+        assert_eq!(a, b, "seed derivation must be stable");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "replication seeds must be distinct");
+        assert_ne!(replication_seed(1, 0), replication_seed(2, 0));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let cfg = DriverConfig {
+            seeds: 2,
+            threads: 1,
+            secs: 150.0,
+            master_seed: 7,
+        };
+        let r = run_figure("fig11", cfg).expect("fig11 runs");
+        let json = r.to_json();
+        assert_eq!(json, run_figure("fig11", cfg).expect("rerun").to_json());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"figure\": \"fig11\""));
+        assert!(json.contains("\"miss_pct\""));
+        // Balanced braces ⇒ at least structurally JSON-shaped.
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+}

@@ -13,6 +13,8 @@
 
 use pmm_core::prelude::*;
 
+pub mod driver;
+
 /// The paper's run length: 10 simulated hours.
 pub const PAPER_SECS: f64 = 36_000.0;
 
@@ -73,11 +75,25 @@ fn sweep<F: Fn(f64) -> SimConfig>(
 pub const BASELINE_RATES: [f64; 5] = [0.04, 0.05, 0.06, 0.07, 0.08];
 /// The four algorithms of the baseline experiment.
 pub const BASELINE_POLICIES: [&str; 4] = ["Max", "MinMax", "Proportional", "PMM"];
+/// MinMax memory limits of the Figure 11 sweep.
+pub const FIG11_LIMITS: [u32; 8] = [2, 3, 4, 6, 8, 10, 15, 20];
+/// Arrival rates of the external-sort sweep (Figure 16).
+pub const SORT_RATES: [f64; 5] = [0.04, 0.06, 0.08, 0.10, 0.12];
+/// Small-class arrival rates of the multiclass sweep (Figures 17–18).
+pub const MULTICLASS_SMALL_RATES: [f64; 5] = [0.0, 0.2, 0.4, 0.8, 1.2];
+/// Window length (simulated seconds) of the workload-changes miss-ratio
+/// time series (Figures 12–14).
+pub const CHANGES_WINDOW_SECS: f64 = 2_400.0;
 
 /// Figures 3, 4, 5 and Table 7 share one set of runs: the Section 5.1
 /// baseline sweep (memory is the bottleneck; 10 disks).
 pub fn baseline_sweep(secs: f64) -> Vec<SweepRow> {
-    sweep(&BASELINE_RATES, &BASELINE_POLICIES, secs, SimConfig::baseline)
+    sweep(
+        &BASELINE_RATES,
+        &BASELINE_POLICIES,
+        secs,
+        SimConfig::baseline,
+    )
 }
 
 /// Figure 6: PMM's target-MPL trace at λ = 0.075.
@@ -118,7 +134,7 @@ pub fn workload_changes(secs: Option<f64>) -> Vec<(String, RunReport)> {
             if let Some(s) = secs {
                 cfg.duration_secs = s;
             }
-            cfg.window_secs = 2_400.0;
+            cfg.window_secs = CHANGES_WINDOW_SECS;
             (p.to_string(), run_simulation(cfg, make_policy(p)))
         })
         .collect()
@@ -126,15 +142,18 @@ pub fn workload_changes(secs: Option<f64>) -> Vec<(String, RunReport)> {
 
 /// Figure 16: the external-sort workload sweep (Section 5.5).
 pub fn fig16(secs: f64) -> Vec<SweepRow> {
-    let rates = [0.04, 0.06, 0.08, 0.10, 0.12];
-    sweep(&rates, &BASELINE_POLICIES, secs, SimConfig::sorts)
+    sweep(&SORT_RATES, &BASELINE_POLICIES, secs, SimConfig::sorts)
 }
 
 /// Figures 17 and 18: the multiclass experiment (Section 5.6) — Medium
 /// fixed at λ = 0.065, Small swept; 12 disks.
 pub fn multiclass_sweep(secs: f64) -> Vec<SweepRow> {
-    let small_rates = [0.0, 0.2, 0.4, 0.8, 1.2];
-    sweep(&small_rates, &["Max", "MinMax", "PMM"], secs, SimConfig::multiclass)
+    sweep(
+        &MULTICLASS_SMALL_RATES,
+        &["Max", "MinMax", "PMM"],
+        secs,
+        SimConfig::multiclass,
+    )
 }
 
 /// Section 5.4: PMM sensitivity to `UtilLow`.
@@ -144,7 +163,10 @@ pub fn util_low_sensitivity(secs: f64) -> Vec<(f64, RunReport)> {
         .map(|&ul| {
             let mut cfg = SimConfig::baseline(0.07);
             cfg.duration_secs = secs;
-            let params = PmmParams { util_low: ul, ..PmmParams::default() };
+            let params = PmmParams {
+                util_low: ul,
+                ..PmmParams::default()
+            };
             (ul, run_simulation(cfg, Box::new(Pmm::new(params))))
         })
         .collect()

@@ -1,0 +1,74 @@
+//! The driver's core contract: merged output depends only on
+//! `(figure, secs, seeds, master_seed)` — never on the thread count or on
+//! which worker ran which replication.
+
+use bench::driver::{run_figure, DriverConfig};
+
+/// A parallel 4-thread run over N seeds produces byte-identical merged JSON
+/// to the serial run over the same seeds.
+#[test]
+fn parallel_json_matches_serial() {
+    let base = DriverConfig {
+        seeds: 3,
+        threads: 1,
+        secs: 200.0,
+        master_seed: 1994,
+    };
+    let serial = run_figure("fig3", base).expect("serial run");
+    let parallel =
+        run_figure("fig3", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "4-thread merged JSON must be byte-identical to the serial run"
+    );
+}
+
+/// Oversubscribing workers far beyond the unit count must not change the
+/// merge either (workers racing on an empty queue).
+#[test]
+fn oversubscribed_threads_match_serial() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 150.0,
+        master_seed: 42,
+    };
+    let serial = run_figure("fig11", base).expect("serial run");
+    let flooded = run_figure(
+        "fig11",
+        DriverConfig {
+            threads: 32,
+            ..base
+        },
+    )
+    .expect("flooded run");
+    assert_eq!(serial.to_json(), flooded.to_json());
+}
+
+/// Different master seeds must actually change the results — otherwise the
+/// determinism assertions above would be vacuous.
+#[test]
+fn master_seed_changes_results() {
+    let a = run_figure(
+        "fig11",
+        DriverConfig {
+            seeds: 2,
+            threads: 2,
+            secs: 150.0,
+            master_seed: 1,
+        },
+    )
+    .expect("seed 1");
+    let b = run_figure(
+        "fig11",
+        DriverConfig {
+            seeds: 2,
+            threads: 2,
+            secs: 150.0,
+            master_seed: 2,
+        },
+    )
+    .expect("seed 2");
+    assert_ne!(a.to_json(), b.to_json());
+}

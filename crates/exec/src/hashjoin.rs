@@ -93,7 +93,13 @@ impl HashJoin {
     ///
     /// # Panics
     /// Panics if either relation is empty.
-    pub fn new(cfg: ExecConfig, r_file: FileId, r_pages: u32, s_file: FileId, s_pages: u32) -> Self {
+    pub fn new(
+        cfg: ExecConfig,
+        r_file: FileId,
+        r_pages: u32,
+        s_file: FileId,
+        s_pages: u32,
+    ) -> Self {
         assert!(r_pages > 0 && s_pages > 0, "relations must be non-empty");
         let fr = cfg.fudge_factor * r_pages as f64;
         let partitions = (fr.sqrt().floor() as u32).max(1);
@@ -201,7 +207,8 @@ impl HashJoin {
             return Some(self.spill_write(pages));
         }
         if self.pending_expand_read >= 1.0 {
-            let pages = (self.pending_expand_read.floor() as u32).min(self.cfg.block_pages);
+            let pages =
+                (self.pending_expand_read.floor() as u32).min(self.cfg.block_pages);
             self.pending_expand_read -= pages as f64;
             if self.pending_expand_read < 1.0 {
                 self.pending_expand_read = 0.0;
@@ -257,7 +264,8 @@ impl Operator for HashJoin {
             // partitions ("late contraction" writes them only now, not at
             // admission time). Contents are raw R pages; the fudge factor
             // inflates only the in-memory footprint.
-            let per_part = self.r_pages as f64 / self.partitions as f64 * self.build_fraction();
+            let per_part =
+                self.r_pages as f64 / self.partitions as f64 * self.build_fraction();
             let dump = (old_e - new_e) as f64 * per_part;
             self.pending_contract += dump;
             self.spilled_r += dump;
@@ -291,7 +299,10 @@ impl Operator for HashJoin {
             State::CreateSpill => {
                 self.state = State::BuildScan;
                 self.scan_pos = 0;
-                Action::CreateTemp { slot: SPILL_SLOT, pages: self.spill_capacity() }
+                Action::CreateTemp {
+                    slot: SPILL_SLOT,
+                    pages: self.spill_capacity(),
+                }
             }
             State::BuildScan => {
                 if self.spill_accum >= self.cfg.block_pages as f64 {
@@ -320,7 +331,8 @@ impl Operator for HashJoin {
             }
             State::BuildFlush => {
                 if self.spill_accum >= 1.0 {
-                    let pages = (self.spill_accum.ceil() as u32).min(self.cfg.block_pages);
+                    let pages =
+                        (self.spill_accum.ceil() as u32).min(self.cfg.block_pages);
                     self.spill_accum = (self.spill_accum - pages as f64).max(0.0);
                     self.spilled_r += pages as f64;
                     return self.spill_write(pages);
@@ -361,7 +373,8 @@ impl Operator for HashJoin {
             }
             State::ProbeFlush => {
                 if self.spill_accum >= 1.0 {
-                    let pages = (self.spill_accum.ceil() as u32).min(self.cfg.block_pages);
+                    let pages =
+                        (self.spill_accum.ceil() as u32).min(self.cfg.block_pages);
                     self.spill_accum = (self.spill_accum - pages as f64).max(0.0);
                     self.spilled_s += pages as f64;
                     return self.spill_write(pages);
@@ -377,7 +390,9 @@ impl Operator for HashJoin {
                     self.state = State::SecondProbe;
                     return self.step();
                 }
-                let pages = (self.spilled_r.floor() as u32).min(self.cfg.block_pages).max(1);
+                let pages = (self.spilled_r.floor() as u32)
+                    .min(self.cfg.block_pages)
+                    .max(1);
                 self.spilled_r = (self.spilled_r - pages as f64).max(0.0);
                 let first = (self.second_read as u32) % self.spill_capacity();
                 self.second_read += pages as f64;
@@ -397,7 +412,9 @@ impl Operator for HashJoin {
                     self.state = State::Terminate;
                     return self.step();
                 }
-                let pages = (self.spilled_s.floor() as u32).min(self.cfg.block_pages).max(1);
+                let pages = (self.spilled_s.floor() as u32)
+                    .min(self.cfg.block_pages)
+                    .max(1);
                 self.spilled_s = (self.spilled_s - pages as f64).max(0.0);
                 let first = (self.second_read as u32) % self.spill_capacity();
                 self.second_read += pages as f64;
@@ -468,7 +485,9 @@ mod tests {
                     (FileRef::Base(_), IoKind::Read) => base_reads += io.pages,
                     (FileRef::Temp(_), IoKind::Read) => temp_reads += io.pages,
                     (FileRef::Temp(_), IoKind::Write) => temp_writes += io.pages,
-                    (FileRef::Base(_), IoKind::Write) => panic!("joins never write relations"),
+                    (FileRef::Base(_), IoKind::Write) => {
+                        panic!("joins never write relations")
+                    }
                 },
                 Action::CreateTemp { .. } | Action::DropTemp { .. } => {}
                 Action::Parked => panic!("parked with non-zero allocation"),
@@ -542,7 +561,10 @@ mod tests {
             })
             .collect();
         for w in totals.windows(2) {
-            assert!(w[1] <= w[0], "I/O must not increase with memory: {totals:?}");
+            assert!(
+                w[1] <= w[0],
+                "I/O must not increase with memory: {totals:?}"
+            );
         }
         assert!(totals[0] > totals[3]);
     }
@@ -587,7 +609,8 @@ mod tests {
         loop {
             match op.step() {
                 Action::Io(io)
-                    if matches!(io.file, FileRef::Temp(_)) && io.kind == IoKind::Write =>
+                    if matches!(io.file, FileRef::Temp(_))
+                        && io.kind == IoKind::Write =>
                 {
                     spool_writes += io.pages
                 }
@@ -608,7 +631,7 @@ mod tests {
     fn late_expansion_reads_back_spilled_build_pages() {
         let mut op = join(1200, 6000);
         op.set_allocation(op.min_memory()); // everything contracted
-        // Finish build, start probing.
+                                            // Finish build, start probing.
         let mut s_read = 0;
         while s_read < 600 {
             match op.step() {

@@ -137,7 +137,8 @@ impl ExternalSort {
     /// once and sifts through a heap of `workspace × tuples_per_page`
     /// entries.
     fn formation_cpu_per_page(&self) -> u64 {
-        let heap_tuples = (self.workspace() as u64 * self.cfg.tuples_per_page as u64).max(2);
+        let heap_tuples =
+            (self.workspace() as u64 * self.cfg.tuples_per_page as u64).max(2);
         let log = 64 - heap_tuples.leading_zeros() as u64;
         self.cfg.tuples_per_page as u64 * (cost::SORT_COPY + cost::KEY_COMPARE * log)
     }
@@ -234,7 +235,8 @@ impl Operator for ExternalSort {
             if let Some(step) = &self.merge {
                 // Split only when the step no longer fits (or on suspension);
                 // growth is exploited at the next step (combining).
-                let needed = step.sources.iter().filter(|&&(_, r)| r > 0).count() as u32 + 1;
+                let needed =
+                    step.sources.iter().filter(|&&(_, r)| r > 0).count() as u32 + 1;
                 if pages == 0 || (shrank && self.alloc < needed) {
                     self.split_requested = true;
                 }
@@ -300,7 +302,10 @@ impl Operator for ExternalSort {
                 self.state = State::RunFormation;
                 self.scan_pos = 0;
                 self.current_run = 0;
-                Action::CreateTemp { slot: RUN_SLOT, pages: self.temp_capacity() }
+                Action::CreateTemp {
+                    slot: RUN_SLOT,
+                    pages: self.temp_capacity(),
+                }
             }
             State::RunFormation => {
                 // Write buffered output first (keeps read/write alternating).
@@ -310,16 +315,16 @@ impl Operator for ExternalSort {
                     let pages = self.form_accum.min(self.cfg.block_pages);
                     self.form_accum -= pages;
                     self.current_run += pages;
-                    let action = self.temp_write(pages); // advances temp_write_pos
+                    // Advances temp_write_pos.
+                    let action = self.temp_write(pages);
                     // Close the run when it reaches its target length or the
                     // input is exhausted. The run occupies the `current_run`
                     // pages ending at the new write position.
                     if self.current_run >= self.target_run_len()
                         || (self.scan_pos >= self.r_pages && self.form_accum == 0)
                     {
-                        let begin =
-                            self.temp_write_pos.wrapping_sub(self.current_run)
-                                % self.temp_capacity();
+                        let begin = self.temp_write_pos.wrapping_sub(self.current_run)
+                            % self.temp_capacity();
                         self.runs.push((begin, self.current_run));
                         self.current_run = 0;
                     }
@@ -564,7 +569,7 @@ mod tests {
     fn run_lengths_track_workspace() {
         let mut op = sort(1000);
         op.set_allocation(26); // W−1 = 25 → runs of 50
-        // Drive until the merge phase starts, then inspect run lengths.
+                               // Drive until the merge phase starts, then inspect run lengths.
         while op.state != State::Merge {
             let a = op.step();
             assert_ne!(a, Action::Finished);
@@ -583,7 +588,10 @@ mod tests {
         // The first merge read may already have consumed a page or two of
         // its sources by the time we observe the state.
         let total: u32 = lens.iter().sum();
-        assert!((995..=1000).contains(&total), "runs must cover the relation: {total}");
+        assert!(
+            (995..=1000).contains(&total),
+            "runs must cover the relation: {total}"
+        );
     }
 
     #[test]
@@ -681,7 +689,10 @@ mod tests {
 
     #[test]
     fn two_phase_flag_disables_fast_path() {
-        let cfg = ExecConfig { always_two_phase_sort: true, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            always_two_phase_sort: true,
+            ..ExecConfig::default()
+        };
         let mut op = ExternalSort::new(cfg, FileId::Relation(0), 600);
         let t = run_fixed(&mut op, 600);
         // Even at max memory: one run written, then streamed back.

@@ -19,8 +19,8 @@
 
 use crate::op::{Action, FileRef, Operator};
 use simkit::Duration;
-use storage::{DiskGeometry, DiskId};
 use std::collections::HashMap;
+use storage::{DiskGeometry, DiskId};
 
 /// Resolves an operator-visible file to its physical placement.
 pub trait Placement {
@@ -102,19 +102,27 @@ mod tests {
         // with ‖R‖∈[600,1800], ‖S‖∈[3000,9000]. The mid-sized join
         // (1200, 6000) alone should land in the same ballpark.
         let cfg = ExecConfig::default();
-        let mut op = HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        let mut op =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
         op.set_allocation(op.max_memory());
-        let t = standalone_time(&mut op, &DiskGeometry::default(), &mut flat_placement(), 40.0)
-            .as_secs_f64();
+        let t = standalone_time(
+            &mut op,
+            &DiskGeometry::default(),
+            &mut flat_placement(),
+            40.0,
+        )
+        .as_secs_f64();
         assert!((10.0..60.0).contains(&t), "stand-alone join time {t} s");
     }
 
     #[test]
     fn bigger_relations_take_longer() {
         let cfg = ExecConfig::default();
-        let mut small = HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
+        let mut small =
+            HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
         small.set_allocation(small.max_memory());
-        let mut large = HashJoin::new(cfg, FileId::Relation(0), 1800, FileId::Relation(1), 9000);
+        let mut large =
+            HashJoin::new(cfg, FileId::Relation(0), 1800, FileId::Relation(1), 9000);
         large.set_allocation(large.max_memory());
         let g = DiskGeometry::default();
         let ts = standalone_time(&mut small, &g, &mut flat_placement(), 40.0);
@@ -130,7 +138,8 @@ mod tests {
         let mut sort = ExternalSort::new(cfg, FileId::Relation(0), 1200);
         sort.set_allocation(sort.max_memory());
         let t_sort = standalone_time(&mut sort, &g, &mut flat_placement(), 40.0);
-        let mut join = HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        let mut join =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
         join.set_allocation(join.max_memory());
         let t_join = standalone_time(&mut join, &g, &mut flat_placement(), 40.0);
         assert!(t_sort < t_join);
@@ -153,10 +162,12 @@ mod tests {
     fn constrained_execution_takes_longer_than_max() {
         let cfg = ExecConfig::default();
         let g = DiskGeometry::default();
-        let mut max = HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
+        let mut max =
+            HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
         max.set_allocation(max.max_memory());
         let t_max = standalone_time(&mut max, &g, &mut flat_placement(), 40.0);
-        let mut min = HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
+        let mut min =
+            HashJoin::new(cfg, FileId::Relation(0), 600, FileId::Relation(1), 3000);
         min.set_allocation(min.min_memory());
         let t_min = standalone_time(&mut min, &g, &mut flat_placement(), 40.0);
         assert!(

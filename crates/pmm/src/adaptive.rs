@@ -23,7 +23,9 @@ use crate::allocator::{max_allocate, minmax_allocate, Grants};
 use crate::policy::MemoryPolicy;
 use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
 use simkit::metrics::Tally;
-use stats::{mean_positive_test, means_differ_test, CurveShape, LinFit, QuadFit, SampleSummary};
+use stats::{
+    mean_positive_test, means_differ_test, CurveShape, LinFit, QuadFit, SampleSummary,
+};
 
 /// PMM tuning knobs (Table 1).
 #[derive(Clone, Copy, Debug)]
@@ -169,8 +171,8 @@ impl Pmm {
     /// them completed) rarely reaches the large-sample threshold alone.
     fn should_switch_to_minmax(&self, stats: &BatchStats) -> bool {
         let missed = stats.missed > 0;
-        let under_utilized =
-            stats.cpu_util < self.params.util_low && stats.disk_util < self.params.util_low;
+        let under_utilized = stats.cpu_util < self.params.util_low
+            && stats.disk_util < self.params.util_low;
         let memory_contended =
             mean_positive_test(self.wait_evidence, self.params.adapt_conf_level);
         let slack_available =
@@ -263,7 +265,10 @@ impl MemoryPolicy for Pmm {
                     // Initial target from the RU heuristic (the projection
                     // has no MinMax observations yet).
                     self.target_mpl = self
-                        .ru_heuristic(stats.realized_mpl.max(1.0), stats.bottleneck_util())
+                        .ru_heuristic(
+                            stats.realized_mpl.max(1.0),
+                            stats.bottleneck_util(),
+                        )
                         .max(2);
                     self.trace.push(TracePoint {
                         at: stats.now,

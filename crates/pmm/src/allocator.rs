@@ -41,7 +41,11 @@ pub fn max_allocate(queries: &[QueryDemand], total: u32) -> Grants {
 /// admitted query its minimum; pass two tops allocations up to the maximum
 /// in ED order until memory runs out. The query on the boundary may end up
 /// anywhere between its minimum and maximum (Section 3.2).
-pub fn minmax_allocate(queries: &[QueryDemand], total: u32, limit: Option<u32>) -> Grants {
+pub fn minmax_allocate(
+    queries: &[QueryDemand],
+    total: u32,
+    limit: Option<u32>,
+) -> Grants {
     let sorted = ed_order(queries);
     let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
     // Pass 1: minimums, in priority order, stopping when memory or the MPL
@@ -74,7 +78,11 @@ pub fn minmax_allocate(queries: &[QueryDemand], total: u32, limit: Option<u32>) 
 /// to at least its minimum. The fraction is found by water-filling: queries
 /// whose proportional share would fall below their minimum are pinned at
 /// the minimum and the fraction is recomputed over the rest.
-pub fn proportional_allocate(queries: &[QueryDemand], total: u32, limit: Option<u32>) -> Grants {
+pub fn proportional_allocate(
+    queries: &[QueryDemand],
+    total: u32,
+    limit: Option<u32>,
+) -> Grants {
     let sorted = ed_order(queries);
     let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
     // Admission: maximal ED prefix whose minimums fit.
@@ -177,7 +185,11 @@ mod tests {
     fn max_fits_memory() {
         let queries: Vec<_> = (0..10).map(|i| q(i, 100 + i, 37, 1321)).collect();
         let grants = max_allocate(&queries, 2560);
-        assert_eq!(grants.len(), 1, "only one 1321-page query fits 2560 after two would exceed");
+        assert_eq!(
+            grants.len(),
+            1,
+            "only one 1321-page query fits 2560 after two would exceed"
+        );
         assert!(granted_total(&grants) <= 2560);
     }
 

@@ -126,8 +126,14 @@ impl SimConfig {
         SimConfig {
             resources: ResourceConfig::default(),
             database: vec![
-                RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
-                RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
+                RelationGroupSpec {
+                    relations_per_disk: 3,
+                    size_range: (600, 1800),
+                },
+                RelationGroupSpec {
+                    relations_per_disk: 3,
+                    size_range: (3000, 9000),
+                },
             ],
             classes: vec![WorkloadClass {
                 name: "Medium".into(),
@@ -169,10 +175,22 @@ impl SimConfig {
         let mut cfg = Self::baseline(0.07);
         cfg.resources.num_disks = 6;
         cfg.database = vec![
-            RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (50, 150) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (250, 750) },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (600, 1800),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (3000, 9000),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (50, 150),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (250, 750),
+            },
         ];
         cfg.classes.push(Self::small_class(2.8));
         // Alternate Medium / Small with phase lengths in the paper's
@@ -196,10 +214,22 @@ impl SimConfig {
         let mut cfg = Self::baseline(0.065);
         cfg.resources.num_disks = 12;
         cfg.database = vec![
-            RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (3000, 9000) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (50, 150) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (250, 750) },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (600, 1800),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (3000, 9000),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (50, 150),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (250, 750),
+            },
         ];
         if small_rate > 0.0 {
             cfg.classes.push(Self::small_class(small_rate));
@@ -226,8 +256,14 @@ impl SimConfig {
         let mut cfg = Self::disk_contention(arrival_rate * 10.0);
         cfg.resources.memory_pages = 256;
         cfg.database = vec![
-            RelationGroupSpec { relations_per_disk: 3, size_range: (60, 180) },
-            RelationGroupSpec { relations_per_disk: 3, size_range: (300, 900) },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (60, 180),
+            },
+            RelationGroupSpec {
+                relations_per_disk: 3,
+                size_range: (300, 900),
+            },
         ];
         cfg
     }
@@ -271,7 +307,10 @@ mod tests {
     fn workload_changes_phases_cover_range() {
         let cfg = SimConfig::workload_changes();
         for (len, classes) in &cfg.schedule.phases {
-            assert!((7_200.0..=18_000.0).contains(len), "phase {len}s outside 2–5 h");
+            assert!(
+                (7_200.0..=18_000.0).contains(len),
+                "phase {len}s outside 2–5 h"
+            );
             assert_eq!(classes.len(), 1, "one class at a time");
         }
         assert_eq!(cfg.resources.num_disks, 6);

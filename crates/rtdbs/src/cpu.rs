@@ -50,8 +50,16 @@ impl CpuManager {
         Duration::from_secs_f64(instructions / (self.mips * 1e6))
     }
 
-    fn begin(&mut self, now: SimTime, query: QueryId, deadline: SimTime, instr: f64, cal: &mut Calendar<Event>) {
-        let handle = cal.schedule(now + self.burst_duration(instr), Event::CpuDone { query });
+    fn begin(
+        &mut self,
+        now: SimTime,
+        query: QueryId,
+        deadline: SimTime,
+        instr: f64,
+        cal: &mut Calendar<Event>,
+    ) {
+        let handle =
+            cal.schedule(now + self.burst_duration(instr), Event::CpuDone { query });
         if self.running.is_none() {
             self.util_run.begin_busy(now);
             self.util_batch.begin_busy(now);
@@ -95,7 +103,12 @@ impl CpuManager {
 
     /// Handle a `CpuDone` event: the running burst finished. Returns the
     /// finished query; the next ready burst (if any) is dispatched.
-    pub fn on_done(&mut self, now: SimTime, query: QueryId, cal: &mut Calendar<Event>) -> QueryId {
+    pub fn on_done(
+        &mut self,
+        now: SimTime,
+        query: QueryId,
+        cal: &mut Calendar<Event>,
+    ) -> QueryId {
         let run = self.running.take().expect("CpuDone with idle CPU");
         debug_assert_eq!(run.query, query, "completion routed to wrong query");
         self.util_run.end_busy(now);
@@ -154,7 +167,13 @@ mod tests {
     fn single_burst_timing() {
         let (mut cpu, mut cal) = setup();
         // 40 MIPS → 40 M instr takes 1 s.
-        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(100), 40_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(1),
+            SimTime::from_secs(100),
+            40_000_000,
+            &mut cal,
+        );
         let (t, q) = expect_done(&mut cal);
         assert_eq!(q, QueryId(1));
         assert_eq!(t, SimTime::from_secs(1));
@@ -182,10 +201,22 @@ mod tests {
     fn preemption_preserves_progress() {
         let (mut cpu, mut cal) = setup();
         // Query 9 (loose deadline) starts a 2 s burst.
-        cpu.submit(SimTime::ZERO, QueryId(9), SimTime::from_secs(1000), 80_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(9),
+            SimTime::from_secs(1000),
+            80_000_000,
+            &mut cal,
+        );
         // At t = 0.5 s, urgent query 1 arrives with a 1 s burst.
         let t_preempt = SimTime::from_secs_f64(0.5);
-        cpu.submit(t_preempt, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        cpu.submit(
+            t_preempt,
+            QueryId(1),
+            SimTime::from_secs(10),
+            40_000_000,
+            &mut cal,
+        );
         // Query 1 finishes at 1.5 s.
         let (t, q) = expect_done(&mut cal);
         assert_eq!(q, QueryId(1));
@@ -200,8 +231,20 @@ mod tests {
     #[test]
     fn lower_priority_does_not_preempt() {
         let (mut cpu, mut cal) = setup();
-        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
-        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(99), 40_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(1),
+            SimTime::from_secs(10),
+            40_000_000,
+            &mut cal,
+        );
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(2),
+            SimTime::from_secs(99),
+            40_000_000,
+            &mut cal,
+        );
         assert_eq!(cpu.ready_len(), 1);
         let (_, q) = expect_done(&mut cal);
         assert_eq!(q, QueryId(1));
@@ -210,8 +253,20 @@ mod tests {
     #[test]
     fn cancel_running_burst_dispatches_next() {
         let (mut cpu, mut cal) = setup();
-        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
-        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(20), 40_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(1),
+            SimTime::from_secs(10),
+            40_000_000,
+            &mut cal,
+        );
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(2),
+            SimTime::from_secs(20),
+            40_000_000,
+            &mut cal,
+        );
         cpu.cancel(SimTime::from_secs_f64(0.25), QueryId(1), &mut cal);
         // Query 1's completion was cancelled; query 2 runs 0.25 → 1.25 s.
         let (t, q) = expect_done(&mut cal);
@@ -222,8 +277,20 @@ mod tests {
     #[test]
     fn cancel_ready_burst() {
         let (mut cpu, mut cal) = setup();
-        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
-        cpu.submit(SimTime::ZERO, QueryId(2), SimTime::from_secs(20), 40_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(1),
+            SimTime::from_secs(10),
+            40_000_000,
+            &mut cal,
+        );
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(2),
+            SimTime::from_secs(20),
+            40_000_000,
+            &mut cal,
+        );
         cpu.cancel(SimTime::ZERO, QueryId(2), &mut cal);
         assert_eq!(cpu.ready_len(), 0);
         assert!(cpu.is_busy());
@@ -232,7 +299,13 @@ mod tests {
     #[test]
     fn utilization_tracks_busy_time() {
         let (mut cpu, mut cal) = setup();
-        cpu.submit(SimTime::ZERO, QueryId(1), SimTime::from_secs(10), 40_000_000, &mut cal);
+        cpu.submit(
+            SimTime::ZERO,
+            QueryId(1),
+            SimTime::from_secs(10),
+            40_000_000,
+            &mut cal,
+        );
         let (t, q) = expect_done(&mut cal);
         cpu.on_done(t, q, &mut cal);
         // Busy 1 s out of 4.

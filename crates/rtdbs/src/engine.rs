@@ -26,8 +26,8 @@ use pmm::{BatchStats, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot};
 use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
 use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
 use stats::SampleSummary;
-use storage::{Access, DiskFarm, FileId, Layout, RelationMeta, Service};
 use std::collections::{BTreeMap, HashMap};
+use storage::{Access, DiskFarm, FileId, Layout, RelationMeta, Service};
 
 /// Calendar event payloads.
 #[derive(Clone, Copy, Debug)]
@@ -192,7 +192,11 @@ impl Simulator {
             class_outcomes: cfg
                 .classes
                 .iter()
-                .map(|c| ClassOutcome { name: c.name.clone(), served: 0, missed: 0 })
+                .map(|c| ClassOutcome {
+                    name: c.name.clone(),
+                    served: 0,
+                    missed: 0,
+                })
                 .collect(),
             timings: TimingTallies::default(),
             mpl_run: TimeWeighted::new(start, 0.0),
@@ -250,34 +254,46 @@ impl Simulator {
 
     fn on_arrival(&mut self, now: SimTime, class: usize) {
         self.schedule_next_arrival(class, now);
-        let active = self.cfg.schedule.is_active(
-            now.as_secs_f64(),
-            class,
-            self.cfg.classes.len(),
-        );
+        let active =
+            self.cfg
+                .schedule
+                .is_active(now.as_secs_f64(), class, self.cfg.classes.len());
         if !active {
             return;
         }
         let spec = self.cfg.classes[class].clone();
         let exec_cfg = self.cfg.resources.exec;
-        let (op, r_meta, s_meta): (Box<dyn Operator>, RelationMeta, Option<RelationMeta>) =
-            match spec.query_type {
-                QueryType::HashJoin { groups } => {
-                    let a = self.layout.random_relation(groups.0, &mut self.rng_pick[class]);
-                    let b = self.layout.random_relation(groups.1, &mut self.rng_pick[class]);
-                    // The smaller relation builds (inner R), the larger probes.
-                    let (r, s) = if a.pages <= b.pages { (a, b) } else { (b, a) };
-                    (
-                        Box::new(HashJoin::new(exec_cfg, r.file, r.pages, s.file, s.pages)),
-                        r,
-                        Some(s),
-                    )
-                }
-                QueryType::ExternalSort { group } => {
-                    let r = self.layout.random_relation(group, &mut self.rng_pick[class]);
-                    (Box::new(ExternalSort::new(exec_cfg, r.file, r.pages)), r, None)
-                }
-            };
+        let (op, r_meta, s_meta): (
+            Box<dyn Operator>,
+            RelationMeta,
+            Option<RelationMeta>,
+        ) = match spec.query_type {
+            QueryType::HashJoin { groups } => {
+                let a = self
+                    .layout
+                    .random_relation(groups.0, &mut self.rng_pick[class]);
+                let b = self
+                    .layout
+                    .random_relation(groups.1, &mut self.rng_pick[class]);
+                // The smaller relation builds (inner R), the larger probes.
+                let (r, s) = if a.pages <= b.pages { (a, b) } else { (b, a) };
+                (
+                    Box::new(HashJoin::new(exec_cfg, r.file, r.pages, s.file, s.pages)),
+                    r,
+                    Some(s),
+                )
+            }
+            QueryType::ExternalSort { group } => {
+                let r = self
+                    .layout
+                    .random_relation(group, &mut self.rng_pick[class]);
+                (
+                    Box::new(ExternalSort::new(exec_cfg, r.file, r.pages)),
+                    r,
+                    None,
+                )
+            }
+        };
         let standalone = self.standalone_of(&spec.query_type, r_meta, s_meta);
         let slack = self.rng_slack[class].uniform(spec.slack_range.0, spec.slack_range.1);
         let deadline = now + standalone.scale(slack);
@@ -404,8 +420,8 @@ impl Simulator {
         if new > 0 && q.first_admit.is_none() {
             q.first_admit = Some(now);
         }
-        let should_drive = q.waiting == Waiting::Nothing
-            && (new > 0 || q.first_admit.is_some());
+        let should_drive =
+            q.waiting == Waiting::Nothing && (new > 0 || q.first_admit.is_some());
         if should_drive {
             self.drive(now, id);
         }
@@ -437,11 +453,10 @@ impl Simulator {
                     q.waiting = Waiting::Disk;
                     let file = q.resolve(req.file);
                     let meta = self.layout.meta(file);
-                    let cylinder = self
-                        .cfg
-                        .resources
-                        .geometry
-                        .cylinder_of(meta.start_cylinder, req.first_page % meta.pages.max(1));
+                    let cylinder = self.cfg.resources.geometry.cylinder_of(
+                        meta.start_cylinder,
+                        req.first_page % meta.pages.max(1),
+                    );
                     let access = Access {
                         owner: id.0,
                         file,
@@ -590,7 +605,8 @@ impl Simulator {
         self.timings.fluctuations.record(q.op.fluctuations() as f64);
         self.batch_char_mem.record(q.op.max_memory() as f64);
         self.batch_char_ios.record(q.operand_ios as f64);
-        self.batch_char_norm.record(constraint / q.operand_ios as f64);
+        self.batch_char_norm
+            .record(constraint / q.operand_ios as f64);
 
         self.roll_windows(now);
         if self.batch_served >= self.cfg.sample_size as u64 {
@@ -613,7 +629,8 @@ impl Simulator {
     }
 
     fn finish_batch(&mut self, now: SimTime) {
-        let to_summary = |t: &Tally| SampleSummary::new(t.mean(), t.variance(), t.count());
+        let to_summary =
+            |t: &Tally| SampleSummary::new(t.mean(), t.variance(), t.count());
         let disk_util = self
             .disk_util_batch
             .iter()
@@ -706,7 +723,10 @@ mod tests {
 
     #[test]
     fn light_load_completes_queries_with_low_misses() {
-        let report = run_simulation(quick_cfg(0.02, 3_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let report = run_simulation(
+            quick_cfg(0.02, 3_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
         assert!(report.served >= 30, "served {}", report.served);
         assert!(
             report.miss_pct() < 15.0,
@@ -731,8 +751,10 @@ mod tests {
     #[test]
     fn minmax_mpl_exceeds_max_under_load() {
         let max = run_simulation(quick_cfg(0.06, 3_000.0), Box::new(MaxPolicy));
-        let minmax =
-            run_simulation(quick_cfg(0.06, 3_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let minmax = run_simulation(
+            quick_cfg(0.06, 3_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
         assert!(
             minmax.avg_mpl > max.avg_mpl,
             "MinMax {} vs Max {}",
@@ -743,8 +765,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
-        let b = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let a = run_simulation(
+            quick_cfg(0.05, 2_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
+        let b = run_simulation(
+            quick_cfg(0.05, 2_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
         assert_eq!(a.served, b.served);
         assert_eq!(a.missed, b.missed);
         assert_eq!(a.avg_mpl, b.avg_mpl);
@@ -753,7 +781,10 @@ mod tests {
 
     #[test]
     fn different_seed_changes_the_run() {
-        let a = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let a = run_simulation(
+            quick_cfg(0.05, 2_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
         let mut cfg = quick_cfg(0.05, 2_000.0);
         cfg.seed = 777;
         let b = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
@@ -766,7 +797,8 @@ mod tests {
 
     #[test]
     fn pmm_runs_and_traces() {
-        let report = run_simulation(quick_cfg(0.06, 4_000.0), Box::new(Pmm::with_defaults()));
+        let report =
+            run_simulation(quick_cfg(0.06, 4_000.0), Box::new(Pmm::with_defaults()));
         assert_eq!(report.policy, "PMM");
         assert!(report.served > 50);
     }
@@ -798,7 +830,10 @@ mod tests {
 
     #[test]
     fn windows_cover_the_run() {
-        let report = run_simulation(quick_cfg(0.05, 2_000.0), Box::new(MinMaxPolicy::unlimited()));
+        let report = run_simulation(
+            quick_cfg(0.05, 2_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
         assert!(report.windows.len() >= 4);
         let total: u64 = report.windows.iter().map(|w| w.served).sum();
         assert_eq!(total, report.served);

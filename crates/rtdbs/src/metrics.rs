@@ -138,15 +138,27 @@ mod tests {
 
     #[test]
     fn class_outcome_pct() {
-        let c = ClassOutcome { name: "Medium".into(), served: 200, missed: 30 };
+        let c = ClassOutcome {
+            name: "Medium".into(),
+            served: 200,
+            missed: 30,
+        };
         assert!((c.miss_pct() - 15.0).abs() < 1e-12);
     }
 
     #[test]
     fn window_pct() {
-        let w = WindowPoint { t_secs: 100.0, served: 10, missed: 5 };
+        let w = WindowPoint {
+            t_secs: 100.0,
+            served: 10,
+            missed: 5,
+        };
         assert_eq!(w.miss_pct(), 50.0);
-        let empty = WindowPoint { t_secs: 1.0, served: 0, missed: 0 };
+        let empty = WindowPoint {
+            t_secs: 1.0,
+            served: 0,
+            missed: 0,
+        };
         assert_eq!(empty.miss_pct(), 0.0);
     }
 

@@ -85,7 +85,11 @@ impl<E> Calendar<E> {
     /// # Panics
     /// Panics if `at` is before the current clock: the past is immutable.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
-        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at:?} < {:?})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });

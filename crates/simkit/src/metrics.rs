@@ -237,7 +237,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_n += 1;
         if self.current_n == self.batch_size {
-            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_n = 0;
         }
@@ -324,7 +325,7 @@ mod tests {
         tw.add(SimTime::from_secs(10), 1.0); // MPL 0 for 10 s
         tw.add(SimTime::from_secs(20), 1.0); // MPL 1 for 10 s
         tw.add(SimTime::from_secs(30), -2.0); // MPL 2 for 10 s
-        // signal: 0,1,2 over equal spans then 0
+                                              // signal: 0,1,2 over equal spans then 0
         let mean = tw.mean(SimTime::from_secs(30));
         assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
         assert_eq!(tw.current(), 0.0);

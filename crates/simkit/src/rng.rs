@@ -194,7 +194,10 @@ mod tests {
         }
         for &c in &counts {
             // Expect 10_000 per bucket; allow 5% deviation.
-            assert!((9_500..=10_500).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_500..=10_500).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

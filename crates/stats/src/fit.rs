@@ -457,22 +457,38 @@ mod tests {
     #[test]
     fn classify_four_types() {
         // Bowl: minimum at x=5.
-        let bowl = Quadratic { a: 25.0, b: -10.0, c: 1.0 };
+        let bowl = Quadratic {
+            a: 25.0,
+            b: -10.0,
+            c: 1.0,
+        };
         assert_eq!(bowl.classify(0.0, 10.0), CurveShape::Bowl);
         // Same curve seen only on its descending side: Type 2.
         assert_eq!(bowl.classify(0.0, 4.0), CurveShape::Decreasing);
         // Ascending side only: Type 3.
         assert_eq!(bowl.classify(6.0, 10.0), CurveShape::Increasing);
         // Hill.
-        let hill = Quadratic { a: 0.0, b: 10.0, c: -1.0 };
+        let hill = Quadratic {
+            a: 0.0,
+            b: 10.0,
+            c: -1.0,
+        };
         assert_eq!(hill.classify(0.0, 10.0), CurveShape::Hill);
     }
 
     #[test]
     fn classify_degenerate_linear() {
-        let down = Quadratic { a: 1.0, b: -0.1, c: 0.0 };
+        let down = Quadratic {
+            a: 1.0,
+            b: -0.1,
+            c: 0.0,
+        };
         assert_eq!(down.classify(1.0, 9.0), CurveShape::Decreasing);
-        let up = Quadratic { a: 0.0, b: 0.1, c: 0.0 };
+        let up = Quadratic {
+            a: 0.0,
+            b: 0.1,
+            c: 0.0,
+        };
         assert_eq!(up.classify(1.0, 9.0), CurveShape::Increasing);
     }
 
@@ -545,7 +561,12 @@ mod tests {
     fn cubic_interior_minimum() {
         // y = (x-2)^2 (x+1) has a local min at x = 1... actually derivative
         // 3x^2 - 6x  ... use y = x^3 - 3x: y' = 3x^2 - 3, min at x=1.
-        let c = Cubic { a: 0.0, b: -3.0, c: 0.0, d: 1.0 };
+        let c = Cubic {
+            a: 0.0,
+            b: -3.0,
+            c: 0.0,
+            d: 1.0,
+        };
         let m = c.interior_minimum(-2.0, 2.0).unwrap();
         assert_close(m, 1.0, 1e-9);
         // Outside the window: none.

@@ -191,7 +191,10 @@ mod tests {
         // large-sample test where neither alone was.
         let mut a = SampleSummary::new(5.0, 4.0, 20);
         let b = SampleSummary::new(5.0, 4.0, 20);
-        assert!(!mean_positive_test(a, 0.95), "20 obs is under the threshold");
+        assert!(
+            !mean_positive_test(a, 0.95),
+            "20 obs is under the threshold"
+        );
         a.merge(&b);
         assert_eq!(a.n, 40);
         assert!((a.mean - 5.0).abs() < 1e-12);

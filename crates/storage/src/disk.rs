@@ -82,7 +82,10 @@ impl PrefetchCache {
     }
 
     fn key(&self, file: FileId, page: u32) -> CacheKey {
-        CacheKey { file, block: page / self.block_pages }
+        CacheKey {
+            file,
+            block: page / self.block_pages,
+        }
     }
 
     /// True if every page of `[first, first+pages)` of `file` is cached.
@@ -91,7 +94,9 @@ impl PrefetchCache {
         let blocks: Vec<CacheKey> = (first..first + pages.max(1))
             .step_by(self.block_pages as usize)
             .map(|p| self.key(file, p))
-            .chain(std::iter::once(self.key(file, first + pages.saturating_sub(1))))
+            .chain(std::iter::once(
+                self.key(file, first + pages.saturating_sub(1)),
+            ))
             .collect();
         let all_present = blocks.iter().all(|k| self.lru.contains(k));
         if all_present {
@@ -174,7 +179,11 @@ impl Disk {
 
     /// Queue an access with ED priority `deadline`.
     pub fn enqueue(&mut self, deadline: SimTime, access: Access) {
-        self.queue.push(QueuedRequest { deadline, cylinder: access.cylinder, tag: access });
+        self.queue.push(QueuedRequest {
+            deadline,
+            cylinder: access.cylinder,
+            tag: access,
+        });
     }
 
     /// True if the disk is currently servicing a request.
@@ -209,7 +218,10 @@ impl Disk {
     fn service(&mut self, access: &Access) -> Service {
         match access.kind {
             IoKind::Read => {
-                if self.cache.lookup(access.file, access.first_page, access.pages) {
+                if self
+                    .cache
+                    .lookup(access.file, access.first_page, access.pages)
+                {
                     return Service::CacheHit;
                 }
                 // Fetch: with prefetch on, round the fetch up to whole
@@ -226,14 +238,24 @@ impl Disk {
                 let time = self.geometry.access_time(dist, fetch_pages);
                 if access.prefetch {
                     let bp = self.cache.block_pages;
-                    self.cache.insert(access.file, (access.first_page / bp) * bp, fetch_pages);
+                    self.cache.insert(
+                        access.file,
+                        (access.first_page / bp) * bp,
+                        fetch_pages,
+                    );
                 }
-                Service::Media { time, new_head: access.cylinder }
+                Service::Media {
+                    time,
+                    new_head: access.cylinder,
+                }
             }
             IoKind::Write => {
                 let dist = self.head.abs_diff(access.cylinder);
                 let time = self.geometry.access_time(dist, access.pages.max(1));
-                Service::Media { time, new_head: access.cylinder }
+                Service::Media {
+                    time,
+                    new_head: access.cylinder,
+                }
             }
         }
     }
@@ -289,7 +311,9 @@ impl DiskFarm {
     pub fn new(n: u32, geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
         assert!(n > 0, "a database system needs at least one disk");
         DiskFarm {
-            disks: (0..n).map(|_| Disk::new(geometry, block_pages, start)).collect(),
+            disks: (0..n)
+                .map(|_| Disk::new(geometry, block_pages, start))
+                .collect(),
         }
     }
 
@@ -316,7 +340,8 @@ impl DiskFarm {
     /// Mean utilization across disks (the "disk resource" reading the RU
     /// heuristic uses).
     pub fn mean_utilization(&self, now: SimTime) -> f64 {
-        self.disks.iter().map(|d| d.utilization(now)).sum::<f64>() / self.disks.len() as f64
+        self.disks.iter().map(|d| d.utilization(now)).sum::<f64>()
+            / self.disks.len() as f64
     }
 
     /// Highest per-disk utilization.
@@ -384,7 +409,10 @@ mod tests {
         disk.finish(SimTime(100));
         disk.enqueue(SimTime(10), acc);
         let (_, s2) = disk.start(SimTime(100)).unwrap();
-        assert!(matches!(s2, Service::Media { .. }), "no prefetch, so no hit");
+        assert!(
+            matches!(s2, Service::Media { .. }),
+            "no prefetch, so no hit"
+        );
     }
 
     #[test]
@@ -465,7 +493,10 @@ mod tests {
         disk.invalidate(temp);
         disk.enqueue(SimTime(1), acc);
         let (_, s) = disk.start(SimTime(10)).unwrap();
-        assert!(matches!(s, Service::Media { .. }), "invalidated line must miss");
+        assert!(
+            matches!(s, Service::Media { .. }),
+            "invalidated line must miss"
+        );
     }
 
     #[test]

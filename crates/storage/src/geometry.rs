@@ -73,7 +73,9 @@ impl DiskGeometry {
 
     /// Media transfer time for `pages` contiguous pages.
     pub fn transfer_time(&self, pages: u32) -> Duration {
-        Duration::from_millis_f64(self.rotation_ms * pages as f64 / self.pages_per_track as f64)
+        Duration::from_millis_f64(
+            self.rotation_ms * pages as f64 / self.pages_per_track as f64,
+        )
     }
 
     /// Full service time for one access: seek across `cyl_distance`

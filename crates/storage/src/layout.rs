@@ -169,10 +169,7 @@ impl Layout {
 
     /// The relations belonging to `group`.
     pub fn relations_in_group(&self, group: u32) -> &[usize] {
-        self.by_group
-            .get(&group)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_group.get(&group).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Pick a uniformly random relation from `group`.
@@ -276,8 +273,14 @@ mod tests {
             DiskGeometry::default(),
             num_disks,
             &[
-                RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) },
-                RelationGroupSpec { relations_per_disk: 5, size_range: (100, 200) },
+                RelationGroupSpec {
+                    relations_per_disk: 3,
+                    size_range: (600, 1800),
+                },
+                RelationGroupSpec {
+                    relations_per_disk: 5,
+                    size_range: (100, 200),
+                },
             ],
             &mut rng,
         );
@@ -287,9 +290,15 @@ mod tests {
     #[test]
     fn group_sizes_at_equal_intervals() {
         // Paper example: RelPerDisk = 5, SizeRange = [100, 200]
-        let g = RelationGroupSpec { relations_per_disk: 5, size_range: (100, 200) };
+        let g = RelationGroupSpec {
+            relations_per_disk: 5,
+            size_range: (100, 200),
+        };
         assert_eq!(g.sizes(), vec![100, 125, 150, 175, 200]);
-        let single = RelationGroupSpec { relations_per_disk: 1, size_range: (50, 150) };
+        let single = RelationGroupSpec {
+            relations_per_disk: 1,
+            size_range: (50, 150),
+        };
         assert_eq!(single.sizes(), vec![50]);
     }
 
@@ -384,7 +393,10 @@ mod tests {
             let l = Layout::build(
                 DiskGeometry::default(),
                 4,
-                &[RelationGroupSpec { relations_per_disk: 3, size_range: (600, 1800) }],
+                &[RelationGroupSpec {
+                    relations_per_disk: 3,
+                    size_range: (600, 1800),
+                }],
                 &mut rng,
             );
             l.relations()

@@ -82,10 +82,14 @@ impl<T> DiskQueue<T> {
                 level.range(..=head).next_back().map(|(&c, _)| c)
             })
         } else {
-            level.range(..=head).next_back().map(|(&c, _)| c).or_else(|| {
-                self.ascending = true;
-                level.range(head..).next().map(|(&c, _)| c)
-            })
+            level
+                .range(..=head)
+                .next_back()
+                .map(|(&c, _)| c)
+                .or_else(|| {
+                    self.ascending = true;
+                    level.range(head..).next().map(|(&c, _)| c)
+                })
         };
         let cyl = chosen_cyl.expect("non-empty level has a cylinder");
         let bucket = level.get_mut(&cyl).expect("bucket exists");
@@ -129,7 +133,11 @@ mod tests {
     use super::*;
 
     fn req(deadline: u64, cylinder: u32, tag: u32) -> QueuedRequest<u32> {
-        QueuedRequest { deadline: SimTime(deadline), cylinder, tag }
+        QueuedRequest {
+            deadline: SimTime(deadline),
+            cylinder,
+            tag,
+        }
     }
 
     #[test]

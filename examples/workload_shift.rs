@@ -12,16 +12,27 @@ fn main() {
     let report = run_simulation(cfg, Box::new(Pmm::with_defaults()));
 
     println!("PMM under the alternating Small/Medium workload:\n");
-    println!("{:>9} {:>8} {:>8} {:>8}", "t (s)", "served", "missed", "miss %");
+    println!(
+        "{:>9} {:>8} {:>8} {:>8}",
+        "t (s)", "served", "missed", "miss %"
+    );
     for w in &report.windows {
         println!(
             "{:>9.0} {:>8} {:>8} {:>8.1}",
-            w.t_secs, w.served, w.missed, w.miss_pct()
+            w.t_secs,
+            w.served,
+            w.missed,
+            w.miss_pct()
         );
     }
     println!("\nPer-class outcome:");
     for c in &report.classes {
-        println!("  {:<8} served {:>6}  miss {:>5.1}%", c.name, c.served, c.miss_pct());
+        println!(
+            "  {:<8} served {:>6}  miss {:>5.1}%",
+            c.name,
+            c.served,
+            c.miss_pct()
+        );
     }
     println!("\nMode/MPL decisions (Figure 15):");
     for p in &report.trace {

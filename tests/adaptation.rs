@@ -9,7 +9,10 @@ use pmm_core::prelude::*;
 fn pmm_switches_to_minmax_on_memory_bound_baseline() {
     // Memory-bound, under-utilized disks, misses present: all four switch
     // conditions of Section 3.2 eventually hold.
-    let r = run_simulation(short_baseline(0.06, 6_000.0), Box::new(Pmm::with_defaults()));
+    let r = run_simulation(
+        short_baseline(0.06, 6_000.0),
+        Box::new(Pmm::with_defaults()),
+    );
     assert!(
         r.trace.iter().any(|p| p.mode == StrategyMode::MinMax),
         "PMM must leave Max mode on the baseline; trace: {:?}",
@@ -60,7 +63,10 @@ fn util_low_setting_barely_matters() {
     // only steers the very first MinMax batches.
     let mut results = Vec::new();
     for util_low in [0.5, 0.8] {
-        let params = pmm_core::pmm::PmmParams { util_low, ..Default::default() };
+        let params = pmm_core::pmm::PmmParams {
+            util_low,
+            ..Default::default()
+        };
         let r = run_simulation(short_baseline(0.05, 6_000.0), Box::new(Pmm::new(params)));
         results.push(r.miss_pct());
     }
@@ -73,7 +79,10 @@ fn util_low_setting_barely_matters() {
 
 #[test]
 fn pmm_trace_is_monotonic_in_time() {
-    let r = run_simulation(short_baseline(0.06, 5_000.0), Box::new(Pmm::with_defaults()));
+    let r = run_simulation(
+        short_baseline(0.06, 5_000.0),
+        Box::new(Pmm::with_defaults()),
+    );
     for pair in r.trace.windows(2) {
         assert!(pair[0].at <= pair[1].at, "trace must be time-ordered");
     }

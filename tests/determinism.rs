@@ -28,7 +28,11 @@ fn identical_seeds_produce_identical_runs() {
         };
         let a = run_simulation(short_baseline(0.05, 2_000.0), make(0));
         let b = run_simulation(short_baseline(0.05, 2_000.0), make(1));
-        assert_eq!(fingerprint(&a), fingerprint(&b), "policy {policy} not reproducible");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "policy {policy} not reproducible"
+        );
         // Windows and traces must match point for point, too.
         assert_eq!(a.windows.len(), b.windows.len());
         assert_eq!(a.trace, b.trace);

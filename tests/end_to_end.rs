@@ -77,7 +77,10 @@ fn disk_contention_flips_the_ordering() {
         minmax_n.miss_pct(),
         minmax.miss_pct()
     );
-    assert!(minmax.disk_util > minmax_n.disk_util, "thrashing shows in disk util");
+    assert!(
+        minmax.disk_util > minmax_n.disk_util,
+        "thrashing shows in disk util"
+    );
 }
 
 #[test]
@@ -89,19 +92,26 @@ fn sort_workload_properties() {
     let mut sort_cfg = SimConfig::sorts(0.20);
     sort_cfg.duration_secs = 3_000.0;
     let max = run_simulation(sort_cfg.clone(), Box::new(MaxPolicy));
-    let minmax = run_simulation(
-        sort_cfg,
-        Box::new(pmm_core::pmm::MinMaxPolicy::unlimited()),
+    let minmax =
+        run_simulation(sort_cfg, Box::new(pmm_core::pmm::MinMaxPolicy::unlimited()));
+    assert!(
+        minmax.avg_mpl > 2.0 * max.avg_mpl,
+        "MinMax admits more sorts"
     );
-    assert!(minmax.avg_mpl > 2.0 * max.avg_mpl, "MinMax admits more sorts");
-    assert!(max.timings.waiting > minmax.timings.waiting, "Max queues sorts");
+    assert!(
+        max.timings.waiting > minmax.timings.waiting,
+        "Max queues sorts"
+    );
     // Sorts at reduced allocations do strictly more I/O.
     assert!(minmax.disk_util > max.disk_util);
 }
 
 #[test]
 fn report_invariants_hold() {
-    let r = run_simulation(short_baseline(0.05, 2_000.0), Box::new(Pmm::with_defaults()));
+    let r = run_simulation(
+        short_baseline(0.05, 2_000.0),
+        Box::new(Pmm::with_defaults()),
+    );
     assert!(r.missed <= r.served);
     assert!((0.0..=1.0).contains(&r.cpu_util));
     assert!((0.0..=1.0).contains(&r.disk_util));

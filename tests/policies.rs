@@ -1,9 +1,9 @@
 //! Cross-crate checks of the allocation policies against the operators'
 //! real memory demands.
 
-use pmm_core::prelude::*;
 use pmm_core::pmm::{max_allocate, minmax_allocate, proportional_allocate};
 use pmm_core::pmm::{QueryDemand, QueryId};
+use pmm_core::prelude::*;
 use pmm_core::storage::FileId;
 
 fn demands_from_operators(n: u64) -> Vec<QueryDemand> {
@@ -11,7 +11,8 @@ fn demands_from_operators(n: u64) -> Vec<QueryDemand> {
     (0..n)
         .map(|i| {
             let r = 600 + (i as u32 * 97) % 1200; // ‖R‖ ∈ [600, 1800]
-            let join = HashJoin::new(cfg, FileId::Relation(0), r, FileId::Relation(1), 5 * r);
+            let join =
+                HashJoin::new(cfg, FileId::Relation(0), r, FileId::Relation(1), 5 * r);
             QueryDemand {
                 id: QueryId(i),
                 deadline: SimTime::from_secs(100 + i),
@@ -46,7 +47,10 @@ fn all_policies_respect_memory_and_bounds() {
             let total: u64 = grants.iter().map(|&(_, p)| p as u64).sum();
             assert!(total <= m as u64, "over-allocated {total} of {m}");
             for (id, pages) in grants {
-                let d = demands.iter().find(|d| d.id == id).expect("granted a real query");
+                let d = demands
+                    .iter()
+                    .find(|d| d.id == id)
+                    .expect("granted a real query");
                 assert!(pages >= d.min_mem, "grant below minimum");
                 assert!(pages <= d.max_mem, "grant above maximum");
             }
@@ -59,7 +63,10 @@ fn minmax_gives_urgent_queries_their_maximum() {
     let demands = demands_from_operators(20);
     let grants = minmax_allocate(&demands, 2560, None);
     // The earliest-deadline query is demands[0] (deadline 100).
-    let first = grants.iter().find(|&&(id, _)| id == QueryId(0)).expect("admitted");
+    let first = grants
+        .iter()
+        .find(|&&(id, _)| id == QueryId(0))
+        .expect("admitted");
     assert_eq!(first.1, demands[0].max_mem, "highest priority gets its max");
 }
 
@@ -71,7 +78,8 @@ fn operators_accept_any_grant_from_policies() {
     let cfg = ExecConfig::default();
     for (id, pages) in grants {
         let r = 600 + (id.0 as u32 * 97) % 1200;
-        let mut join = HashJoin::new(cfg, FileId::Relation(0), r, FileId::Relation(1), 5 * r);
+        let mut join =
+            HashJoin::new(cfg, FileId::Relation(0), r, FileId::Relation(1), 5 * r);
         join.set_allocation(pages); // must not panic
         assert_eq!(join.allocation(), pages);
     }
