@@ -13,11 +13,17 @@
 //! cargo run --release -p bench --bin experiments -- --figure all --smoke
 //! ```
 //!
-//! Flags: `--figure <fig3|fig8|fig11|fig12|fig16|fig17|all>` (repeatable),
-//! `--seeds N` (default 8), `--threads N` (default: available cores),
-//! `--secs S` (default 3600), `--master-seed S` (default 1994),
+//! Flags: `--figure <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|all>`
+//! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
+//! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
 //! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
 //! smoke configuration).
+//!
+//! Beyond the paper: `--figure burst` sweeps MMPP burst ratios at the
+//! baseline's mean rate, and `--figure tenants` sweeps multi-tenant quota
+//! splits under shared vs. hard-partitioned vs. soft-partitioned memory.
+//! `fig12` cells carry the merged per-window miss-ratio series (with 90%
+//! CIs across seeds) in their `windows` array.
 //!
 //! **Report mode** (positional artifact name): the original single-seed
 //! text reports in the paper's layout.

@@ -6,7 +6,9 @@
 //! cell, merged into means with confidence intervals. This module shards the
 //! figure experiments across a thread pool, one deterministic
 //! `SeedSequence`-derived RNG stream per replication, and merges the per-seed
-//! [`RunReport`]s into [`simkit::metrics::BatchMeans`] summaries.
+//! [`RunReport`]s into [`simkit::metrics::BatchMeans`] summaries — scalar
+//! metrics and the windowed miss-ratio time series alike (Figures 12–14 plot
+//! the latter).
 //!
 //! Determinism contract: the merged output (and therefore the emitted JSON)
 //! depends only on `(figure, secs, seeds, master_seed)` — never on the
@@ -14,14 +16,19 @@
 //! a pre-sized result table, so a 4-thread run is byte-identical to a serial
 //! run. `tests/driver_determinism.rs` pins that property.
 
-use crate::make_policy;
+use crate::make_policy_for;
 use pmm_core::prelude::*;
+use pmm_core::rtdbs::WindowPoint;
 use pmm_core::simkit::metrics::BatchMeans;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Names of the figure experiments the driver knows how to shard.
-pub const FIGURES: [&str; 6] = ["fig3", "fig8", "fig11", "fig12", "fig16", "fig17"];
+/// Names of the figure experiments the driver knows how to shard. Beyond
+/// the paper's figures, `burst` sweeps MMPP burst ratios and `tenants`
+/// sweeps multi-tenant quota splits.
+pub const FIGURES: [&str; 8] = [
+    "fig3", "fig8", "fig11", "fig12", "fig16", "fig17", "burst", "tenants",
+];
 
 /// Two-sided 90% Student-t quantile (`t_{0.95, df}`) for the given degrees
 /// of freedom. With a handful of replications the normal quantile (1.645)
@@ -120,6 +127,16 @@ pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
             x_label: "Small-class arrival rate (queries/s)",
             cells: cross(&crate::MULTICLASS_SMALL_RATES, &["Max", "MinMax", "PMM"]),
         },
+        "burst" => FigureSpec {
+            name: "burst",
+            x_label: "MMPP burst ratio (1 = Poisson control)",
+            cells: cross(&crate::BURST_RATIOS, &["Max", "MinMax", "PMM"]),
+        },
+        "tenants" => FigureSpec {
+            name: "tenants",
+            x_label: "analytics-tenant memory fraction",
+            cells: cross(&crate::TENANT_FRACTIONS, &crate::TENANT_POLICIES),
+        },
         other => {
             return Err(format!(
                 "unknown figure {other:?}; known figures: {}",
@@ -144,6 +161,8 @@ fn cell_config(figure: &str, x: f64) -> SimConfig {
         }
         "fig16" => SimConfig::sorts(x),
         "fig17" => SimConfig::multiclass(x),
+        "burst" => SimConfig::bursty(x),
+        "tenants" => SimConfig::multi_tenant(x),
         other => unreachable!("figure_spec admitted unknown figure {other}"),
     }
 }
@@ -192,6 +211,25 @@ fn summarize<F: Fn(&RunReport) -> f64>(reports: &[RunReport], f: F) -> MetricSum
     }
 }
 
+/// One window of the merged miss-ratio time series: the same batch-means
+/// machinery as the scalar metrics, applied per window index across the
+/// replications (closing the "fig12 windows are dropped" gap — Figures
+/// 12–14 plot exactly this series).
+#[derive(Clone, Debug)]
+pub struct MergedWindow {
+    /// Window end in simulated seconds.
+    pub t_secs: f64,
+    /// Replications contributing this window (late windows can be missing
+    /// from replications that went quiet early).
+    pub replications: u64,
+    /// Total queries served in this window across replications.
+    pub served: u64,
+    /// Total misses in this window across replications.
+    pub missed: u64,
+    /// Window miss ratio (%), mean ± CI over replications.
+    pub miss_pct: MetricSummary,
+}
+
 /// One cell's merged statistics over all replications.
 #[derive(Clone, Debug)]
 pub struct MergedCell {
@@ -221,6 +259,36 @@ pub struct MergedCell {
     pub response: MetricSummary,
     /// Memory-allocation changes per query.
     pub avg_fluctuations: MetricSummary,
+    /// Merged windowed miss-ratio time series.
+    pub windows: Vec<MergedWindow>,
+}
+
+/// Merge the per-replication window series index-by-index. Replication
+/// windows share boundaries (same `window_secs` and duration), but a run
+/// may emit one final partial window the others lack — each index is merged
+/// over the replications that actually have it.
+fn merge_windows(reports: &[RunReport]) -> Vec<MergedWindow> {
+    let longest = reports.iter().map(|r| r.windows.len()).max().unwrap_or(0);
+    (0..longest)
+        .map(|j| {
+            let points: Vec<&WindowPoint> =
+                reports.iter().filter_map(|r| r.windows.get(j)).collect();
+            let mut bm = BatchMeans::new(1);
+            for p in &points {
+                bm.record(p.miss_pct());
+            }
+            MergedWindow {
+                t_secs: points[0].t_secs,
+                replications: points.len() as u64,
+                served: points.iter().map(|p| p.served).sum(),
+                missed: points.iter().map(|p| p.missed).sum(),
+                miss_pct: MetricSummary {
+                    mean: bm.mean(),
+                    ci90: bm.half_width(t_quantile_90(points.len().saturating_sub(1))),
+                },
+            }
+        })
+        .collect()
 }
 
 /// A figure's complete merged result.
@@ -274,7 +342,8 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         let mut sim = cell_config(spec.name, cell.x);
         sim.duration_secs = cfg.secs;
         sim.seed = seeds[s];
-        let report = run_simulation(sim, make_policy(&cell.policy));
+        let policy = make_policy_for(&sim, &cell.policy);
+        let report = run_simulation(sim, policy);
         results[unit]
             .set(report)
             .expect("each unit is claimed exactly once");
@@ -326,6 +395,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                 execution: summarize(&reports, |r| r.timings.execution),
                 response: summarize(&reports, |r| r.timings.response),
                 avg_fluctuations: summarize(&reports, |r| r.avg_fluctuations),
+                windows: merge_windows(&reports),
             }
         })
         .collect();
@@ -397,6 +467,20 @@ impl FigureResult {
             push_summary(&mut out, "response_secs", cell.response);
             out.push(',');
             push_summary(&mut out, "avg_fluctuations", cell.avg_fluctuations);
+            out.push_str(",\"windows\":[");
+            for (j, w) in cell.windows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"t_secs\":{:?},\"replications\":{},\"served\":{},\
+                     \"missed\":{},",
+                    w.t_secs, w.replications, w.served, w.missed
+                ));
+                push_summary(&mut out, "miss_pct", w.miss_pct);
+                out.push('}');
+            }
+            out.push(']');
             out.push('}');
             if i + 1 < self.cells.len() {
                 out.push(',');
@@ -484,6 +568,57 @@ mod tests {
         uniq.dedup();
         assert_eq!(uniq.len(), a.len(), "replication seeds must be distinct");
         assert_ne!(replication_seed(1, 0), replication_seed(2, 0));
+    }
+
+    #[test]
+    fn merge_windows_handles_ragged_series() {
+        let mk = |windows: Vec<(f64, u64, u64)>| RunReport {
+            windows: windows
+                .into_iter()
+                .map(|(t, served, missed)| pmm_core::rtdbs::WindowPoint {
+                    t_secs: t,
+                    served,
+                    missed,
+                })
+                .collect(),
+            ..RunReport::default()
+        };
+        // Second replication lacks the final window.
+        let reports = [
+            mk(vec![(100.0, 10, 5), (200.0, 10, 0), (300.0, 4, 2)]),
+            mk(vec![(100.0, 10, 0), (200.0, 10, 10)]),
+        ];
+        let merged = merge_windows(&reports);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].replications, 2);
+        assert_eq!(merged[0].served, 20);
+        assert_eq!(merged[0].missed, 5);
+        assert!((merged[0].miss_pct.mean - 25.0).abs() < 1e-12);
+        assert!(merged[0].miss_pct.ci90.is_some(), "two replications → CI");
+        assert!((merged[1].miss_pct.mean - 50.0).abs() < 1e-12);
+        assert_eq!(merged[2].replications, 1);
+        assert!(merged[2].miss_pct.ci90.is_none(), "one replication → no CI");
+        assert!(merge_windows(&[]).is_empty());
+    }
+
+    #[test]
+    fn fig12_json_carries_merged_windows() {
+        let cfg = DriverConfig {
+            seeds: 2,
+            threads: 2,
+            secs: 600.0,
+            master_seed: 9,
+        };
+        let r = run_figure("fig12", cfg).expect("fig12 runs");
+        assert!(
+            r.cells.iter().all(|c| !c.windows.is_empty()),
+            "every cell carries its windowed series"
+        );
+        let json = r.to_json();
+        assert!(
+            json.contains("\"windows\":[{\"t_secs\":"),
+            "windows serialized: {json}"
+        );
     }
 
     #[test]

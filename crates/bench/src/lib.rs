@@ -42,6 +42,36 @@ pub fn make_policy(name: &str) -> Box<dyn MemoryPolicy> {
     }
 }
 
+/// Construct a policy by short name, resolving the tenant-aware names
+/// against `cfg.tenants`: `"Partitioned"` enforces the config's quotas as
+/// declared (hard unless the spec says otherwise) and `"Partitioned-soft"`
+/// lets every partition borrow idle pages. All other names defer to
+/// [`make_policy`].
+///
+/// # Panics
+/// Panics on an unknown name, or a `Partitioned*` name against a config
+/// with no tenants.
+pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
+    let partitions = || -> Vec<PartitionSpec> {
+        assert!(
+            !cfg.tenants.is_empty(),
+            "policy {name} needs tenants in the SimConfig"
+        );
+        cfg.tenants
+            .iter()
+            .map(|t| PartitionSpec {
+                quota: t.quota_pages,
+                soft: t.soft,
+            })
+            .collect()
+    };
+    match name {
+        "Partitioned" => Box::new(PartitionedPolicy::new(partitions())),
+        "Partitioned-soft" => Box::new(PartitionedPolicy::new(partitions()).soften()),
+        other => make_policy(other),
+    }
+}
+
 /// One row of a sweep: an x value plus one report per policy.
 pub struct SweepRow {
     /// The swept parameter (arrival rate, N, ...).
@@ -84,6 +114,14 @@ pub const MULTICLASS_SMALL_RATES: [f64; 5] = [0.0, 0.2, 0.4, 0.8, 1.2];
 /// Window length (simulated seconds) of the workload-changes miss-ratio
 /// time series (Figures 12–14).
 pub const CHANGES_WINDOW_SECS: f64 = 2_400.0;
+/// MMPP burst ratios of the bursty-arrivals sweep (1 = the Poisson
+/// control cell).
+pub const BURST_RATIOS: [f64; 4] = [1.0, 4.0, 8.0, 16.0];
+/// Analytics-tenant memory fractions of the multi-tenant sweep.
+pub const TENANT_FRACTIONS: [f64; 3] = [0.25, 0.5, 0.75];
+/// The policies of the multi-tenant experiment: a shared pool as the
+/// no-isolation control, hard quotas, and soft quotas with borrow-back.
+pub const TENANT_POLICIES: [&str; 3] = ["MinMax", "Partitioned", "Partitioned-soft"];
 
 /// Figures 3, 4, 5 and Table 7 share one set of runs: the Section 5.1
 /// baseline sweep (memory is the bottleneck; 10 disks).
@@ -255,6 +293,24 @@ mod tests {
     #[should_panic(expected = "unknown policy")]
     fn make_policy_rejects_garbage() {
         make_policy("Random");
+    }
+
+    #[test]
+    fn make_policy_for_builds_partitions_from_tenants() {
+        let cfg = SimConfig::multi_tenant(0.5);
+        assert_eq!(make_policy_for(&cfg, "Partitioned").name(), "Partitioned");
+        assert_eq!(
+            make_policy_for(&cfg, "Partitioned-soft").name(),
+            "Partitioned-soft"
+        );
+        // Non-partitioned names defer to make_policy even with tenants set.
+        assert_eq!(make_policy_for(&cfg, "PMM").name(), "PMM");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs tenants")]
+    fn make_policy_for_rejects_partitioned_without_tenants() {
+        make_policy_for(&SimConfig::baseline(0.05), "Partitioned");
     }
 
     #[test]

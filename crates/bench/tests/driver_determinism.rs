@@ -46,6 +46,28 @@ fn oversubscribed_threads_match_serial() {
     assert_eq!(serial.to_json(), flooded.to_json());
 }
 
+/// The wider-workload figures (MMPP bursts, multi-tenant partitions) obey
+/// the same contract: merged JSON is byte-identical across thread counts.
+#[test]
+fn burst_and_tenants_json_match_serial() {
+    for figure in ["burst", "tenants"] {
+        let base = DriverConfig {
+            seeds: 2,
+            threads: 1,
+            secs: 200.0,
+            master_seed: 1994,
+        };
+        let serial = run_figure(figure, base).expect("serial run");
+        let parallel = run_figure(figure, DriverConfig { threads: 4, ..base })
+            .expect("parallel run");
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "{figure}: 4-thread JSON must match the serial run"
+        );
+    }
+}
+
 /// Different master seeds must actually change the results — otherwise the
 /// determinism assertions above would be vacuous.
 #[test]

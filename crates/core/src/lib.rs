@@ -23,13 +23,14 @@ pub use rtdbs;
 pub use simkit;
 pub use stats;
 pub use storage;
+pub use workload;
 
 /// Everything a typical experiment needs.
 pub mod prelude {
     pub use exec::{ExecConfig, ExternalSort, HashJoin, Operator};
     pub use pmm::{
-        MaxPolicy, MemoryPolicy, MinMaxPolicy, Pmm, PmmParams, ProportionalPolicy,
-        StrategyMode,
+        MaxPolicy, MemoryPolicy, MinMaxPolicy, PartitionSpec, PartitionedPolicy, Pmm,
+        PmmParams, ProportionalPolicy, StrategyMode,
     };
     pub use rtdbs::{
         run_simulation, PhaseSchedule, QueryType, ResourceConfig, RunReport, SimConfig,
@@ -37,4 +38,7 @@ pub mod prelude {
     };
     pub use simkit::{Duration, SimTime};
     pub use storage::{DiskGeometry, RelationGroupSpec};
+    pub use workload::{
+        AlternationSchedule, ArrivalProcess, ArrivalSpec, Scenario, TenantSpec,
+    };
 }

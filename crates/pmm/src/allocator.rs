@@ -150,6 +150,83 @@ pub fn granted_total(grants: &Grants) -> u64 {
     grants.iter().map(|&(_, p)| p as u64).sum()
 }
 
+/// One memory partition of the multi-tenant mode: a page quota plus whether
+/// the tenant may borrow pages other partitions leave idle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Pages of the pool reserved for this partition.
+    pub quota: u32,
+    /// Soft quota: may exceed `quota` by borrowing idle pages. Hard
+    /// (`false`) is a strict ceiling.
+    pub soft: bool,
+}
+
+/// **Partitioned** mode: divide memory across tenant partitions, running the
+/// MinMax-N machinery *within* each partition.
+///
+/// Pass 1 hands every partition its quota and allocates its queries with
+/// [`minmax_allocate`] against that budget — a hard guarantee that a tenant
+/// is never starved below its reservation by another tenant's load. Pass 2
+/// is the borrow-back round: pages no partition is using (unused quota plus
+/// any pool pages outside all quotas) are offered to `soft` partitions in
+/// declaration order, which re-allocate with the enlarged budget. Because
+/// the whole division is recomputed from scratch at every allocation event,
+/// borrowed pages flow back automatically the moment the lender's own demand
+/// returns — pass 1 always serves quotas first.
+///
+/// Queries name their partition via [`QueryDemand::tenant`]; out-of-range
+/// indices clamp to the last partition. With no partitions declared this
+/// degenerates to plain `minmax_allocate` over the whole pool. Quotas that
+/// oversubscribe the pool are honored first-declared-first: each partition's
+/// reservation is capped to the pages not already reserved ahead of it, so
+/// the grants can never exceed `total`.
+pub fn partitioned_allocate(
+    queries: &[QueryDemand],
+    partitions: &[PartitionSpec],
+    total: u32,
+    limit: Option<u32>,
+) -> Grants {
+    if partitions.is_empty() {
+        return minmax_allocate(queries, total, limit);
+    }
+    let n = partitions.len();
+    let mut groups: Vec<Vec<QueryDemand>> = vec![Vec::new(); n];
+    for q in queries {
+        groups[(q.tenant as usize).min(n - 1)].push(*q);
+    }
+    // Pass 1: every partition allocates within its own quota, capped so the
+    // reservations themselves never oversubscribe the pool.
+    let mut unreserved = total;
+    let mut per_part: Vec<Grants> = partitions
+        .iter()
+        .zip(&groups)
+        .map(|(spec, group)| {
+            let budget = spec.quota.min(unreserved);
+            unreserved -= budget;
+            minmax_allocate(group, budget, limit)
+        })
+        .collect();
+    let used: u64 = per_part.iter().map(granted_total).sum();
+    // Pass 2 (borrow-back): idle pages go to soft partitions in order.
+    let mut pool = (total as u64).saturating_sub(used);
+    for (i, spec) in partitions.iter().enumerate() {
+        if !spec.soft || pool == 0 {
+            continue;
+        }
+        let own = granted_total(&per_part[i]);
+        let budget = (own + pool).min(u32::MAX as u64) as u32;
+        let regrant = minmax_allocate(&groups[i], budget, limit);
+        let regrant_used = granted_total(&regrant);
+        // More memory can only admit more / grant more under MinMax, but
+        // guard the invariant anyway: never shrink below the quota pass.
+        if regrant_used >= own {
+            pool -= regrant_used - own;
+            per_part[i] = regrant;
+        }
+    }
+    per_part.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +238,14 @@ mod tests {
             deadline: SimTime(deadline),
             min_mem: min,
             max_mem: max,
+            tenant: 0,
+        }
+    }
+
+    fn qt(id: u64, deadline: u64, min: u32, max: u32, tenant: u32) -> QueryDemand {
+        QueryDemand {
+            tenant,
+            ..q(id, deadline, min, max)
         }
     }
 
@@ -297,6 +382,177 @@ mod tests {
         let queries = [q(2, 100, 10, 600), q(1, 100, 10, 600)];
         let grants = max_allocate(&queries, 600);
         assert_eq!(grants[0].0, QueryId(1));
+    }
+
+    #[test]
+    fn partitioned_empty_spec_degenerates_to_minmax() {
+        let queries: Vec<_> = (0..5).map(|i| q(i, 100 + i, 37, 1321)).collect();
+        assert_eq!(
+            partitioned_allocate(&queries, &[], 2560, None),
+            minmax_allocate(&queries, 2560, None)
+        );
+    }
+
+    #[test]
+    fn hard_quota_is_a_ceiling_even_when_the_pool_is_idle() {
+        // Tenant 0 (hard, 1000 pages) is loaded; tenant 1 (1560) is idle.
+        let parts = [
+            PartitionSpec {
+                quota: 1000,
+                soft: false,
+            },
+            PartitionSpec {
+                quota: 1560,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..5).map(|i| qt(i, 100 + i, 37, 1321, 0)).collect();
+        let grants = partitioned_allocate(&queries, &parts, 2560, None);
+        assert!(granted_total(&grants) <= 1000, "hard quota respected");
+        assert!(!grants.is_empty());
+    }
+
+    #[test]
+    fn soft_quota_borrows_idle_pages() {
+        let parts = [
+            PartitionSpec {
+                quota: 1000,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1560,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..5).map(|i| qt(i, 100 + i, 37, 1321, 0)).collect();
+        let grants = partitioned_allocate(&queries, &parts, 2560, None);
+        assert!(
+            granted_total(&grants) > 1000,
+            "soft tenant borrows beyond its quota: {}",
+            granted_total(&grants)
+        );
+        assert!(granted_total(&grants) <= 2560);
+    }
+
+    #[test]
+    fn borrow_back_when_the_lender_needs_its_quota() {
+        let parts = [
+            PartitionSpec {
+                quota: 1280,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1280,
+                soft: true,
+            },
+        ];
+        // Only tenant 0 active: it borrows tenant 1's idle pages.
+        let t0: Vec<_> = (0..4).map(|i| qt(i, 100 + i, 300, 1321, 0)).collect();
+        let alone = partitioned_allocate(&t0, &parts, 2560, None);
+        assert!(granted_total(&alone) > 1280);
+        // Tenant 1 wakes up: the division is recomputed and each side gets
+        // at least its quota-backed share — the borrowed pages flowed back.
+        let mut both = t0.clone();
+        both.extend((10..14).map(|i| qt(i, 100 + i, 300, 1321, 1)));
+        let shared = partitioned_allocate(&both, &parts, 2560, None);
+        let t1_pages: u64 = shared
+            .iter()
+            .filter(|(id, _)| id.0 >= 10)
+            .map(|&(_, p)| p as u64)
+            .sum();
+        assert!(
+            t1_pages >= 1200,
+            "returning tenant is served from its quota: {t1_pages}"
+        );
+        assert!(granted_total(&shared) <= 2560);
+    }
+
+    #[test]
+    fn partitioned_respects_per_partition_limit_and_memory() {
+        let parts = [
+            PartitionSpec {
+                quota: 1000,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1000,
+                soft: true,
+            },
+        ];
+        let queries: Vec<_> = (0..40)
+            .map(|i| qt(i, 100 + i, 37, 400, (i % 2) as u32))
+            .collect();
+        let grants = partitioned_allocate(&queries, &parts, 2000, Some(3));
+        assert!(grants.len() <= 6, "≤ limit per partition");
+        assert!(granted_total(&grants) <= 2000);
+        for (id, pages) in &grants {
+            let d = queries.iter().find(|d| d.id == *id).unwrap();
+            assert!(*pages >= d.min_mem && *pages <= d.max_mem);
+        }
+    }
+
+    #[test]
+    fn out_of_range_tenant_clamps_to_last_partition() {
+        let parts = [
+            PartitionSpec {
+                quota: 500,
+                soft: false,
+            },
+            PartitionSpec {
+                quota: 2060,
+                soft: false,
+            },
+        ];
+        let queries = [qt(1, 100, 37, 1321, 9)];
+        let grants = partitioned_allocate(&queries, &parts, 2560, None);
+        assert_eq!(grants, vec![(QueryId(1), 1321)], "billed to partition 1");
+    }
+
+    #[test]
+    fn oversubscribed_quotas_never_overcommit_the_pool() {
+        // Two 2000-page quotas over a 2560-page pool: declaration order
+        // wins the reservation; grants must still fit the pool.
+        let parts = [
+            PartitionSpec {
+                quota: 2000,
+                soft: false,
+            },
+            PartitionSpec {
+                quota: 2000,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..10)
+            .map(|i| qt(i, 100 + i, 37, 1321, (i % 2) as u32))
+            .collect();
+        let grants = partitioned_allocate(&queries, &parts, 2560, None);
+        assert!(
+            granted_total(&grants) <= 2560,
+            "grants {} exceed the pool",
+            granted_total(&grants)
+        );
+        // Partition 1 still gets the 560 unreserved pages' worth of minimums.
+        assert!(grants.iter().any(|(id, _)| id.0 % 2 == 1));
+    }
+
+    #[test]
+    fn partitioned_is_deterministic() {
+        let parts = [
+            PartitionSpec {
+                quota: 1300,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1260,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..20)
+            .map(|i| qt(i, 1000 - i * 7, 30 + (i % 5) as u32, 600, (i % 2) as u32))
+            .collect();
+        let a = partitioned_allocate(&queries, &parts, 2560, Some(8));
+        let b = partitioned_allocate(&queries, &parts, 2560, Some(8));
+        assert_eq!(a, b);
     }
 
     #[test]

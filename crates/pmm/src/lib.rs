@@ -14,15 +14,23 @@
 //! * [`adaptive`] — PMM itself: miss-ratio projection, the resource
 //!   utilization heuristic, strategy switching, and workload-change
 //!   detection.
+//! * [`partition`] — multi-tenant quotas: [`partition::PartitionedPolicy`]
+//!   runs the MinMax machinery per tenant partition with hard/soft quotas
+//!   and borrow-back.
 //! * [`types`] — snapshot / feedback types shared with the simulator.
 
 pub mod adaptive;
 pub mod allocator;
+pub mod partition;
 pub mod policy;
 pub mod types;
 
 pub use adaptive::{Pmm, PmmParams};
-pub use allocator::{max_allocate, minmax_allocate, proportional_allocate, Grants};
+pub use allocator::{
+    max_allocate, minmax_allocate, partitioned_allocate, proportional_allocate, Grants,
+    PartitionSpec,
+};
+pub use partition::PartitionedPolicy;
 pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};
 pub use types::{
     BatchStats, QueryDemand, QueryId, StrategyMode, SystemSnapshot, TracePoint,

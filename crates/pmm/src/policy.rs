@@ -142,6 +142,7 @@ mod tests {
                     deadline: SimTime(100 + i),
                     min_mem: 37,
                     max_mem: 1321,
+                    tenant: 0,
                 })
                 .collect(),
         }

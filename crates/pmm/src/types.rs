@@ -18,6 +18,9 @@ pub struct QueryDemand {
     pub max_mem: u32,
     /// Minimum memory in pages required to execute at all.
     pub min_mem: u32,
+    /// The memory partition the query bills against (0 when the workload is
+    /// single-tenant; ignored by the non-partitioned policies).
+    pub tenant: u32,
 }
 
 /// Snapshot of the memory situation handed to a policy when allocations

@@ -1,9 +1,20 @@
 //! Simulation configuration: the database, workload, and physical resource
 //! models of Section 4 (Tables 2 and 3), plus the paper's experiment
-//! presets.
+//! presets and the wider-workload scenarios built on the `workload` crate.
+//!
+//! Workload description types ([`WorkloadClass`], [`QueryType`],
+//! [`AlternationSchedule`], [`ArrivalSpec`], [`TenantSpec`], [`Scenario`])
+//! live in `workload` — scenario generation is its own subsystem — and are
+//! re-exported here for convenience.
 
 use exec::ExecConfig;
 use storage::{DiskGeometry, RelationGroupSpec};
+pub use workload::{
+    AlternationSchedule, ArrivalSpec, QueryType, Scenario, TenantSpec, WorkloadClass,
+};
+
+/// Backward-compatible alias: the Section 5.3 schedule under its seed name.
+pub type PhaseSchedule = AlternationSchedule;
 
 /// Physical resources (Table 3).
 #[derive(Clone, Copy, Debug)]
@@ -32,68 +43,6 @@ impl Default for ResourceConfig {
     }
 }
 
-/// What kind of queries a workload class issues (Table 2, `QueryType_j`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum QueryType {
-    /// Hash joins: one relation drawn from each listed group; the smaller
-    /// becomes the inner (build) relation R.
-    HashJoin {
-        /// The two operand relation groups (`RelGroup_j`).
-        groups: (u32, u32),
-    },
-    /// External sorts over one relation from `group`.
-    ExternalSort {
-        /// The operand relation group.
-        group: u32,
-    },
-}
-
-/// One workload class (Table 2).
-#[derive(Clone, Debug)]
-pub struct WorkloadClass {
-    /// Label for reports ("Medium", "Small", ...).
-    pub name: String,
-    /// Join or sort, and over which relation groups.
-    pub query_type: QueryType,
-    /// Poisson arrival rate λ in queries/second.
-    pub arrival_rate: f64,
-    /// `SRInterval_j` — slack ratios drawn uniformly from this range.
-    pub slack_range: (f64, f64),
-}
-
-/// Alternating-workload schedule for the Section 5.3 experiment: phase `i`
-/// lasts `phases[i].0` seconds with only the listed classes active; the
-/// schedule repeats cyclically.
-#[derive(Clone, Debug, Default)]
-pub struct PhaseSchedule {
-    /// `(duration_secs, active class indices)` per phase.
-    pub phases: Vec<(f64, Vec<usize>)>,
-}
-
-impl PhaseSchedule {
-    /// Which classes are active at simulated second `t`. With no phases,
-    /// every class is always active.
-    pub fn active_at(&self, t: f64, num_classes: usize) -> Vec<usize> {
-        if self.phases.is_empty() {
-            return (0..num_classes).collect();
-        }
-        let cycle: f64 = self.phases.iter().map(|p| p.0).sum();
-        let mut offset = t % cycle;
-        for (len, classes) in &self.phases {
-            if offset < *len {
-                return classes.clone();
-            }
-            offset -= len;
-        }
-        self.phases.last().expect("non-empty").1.clone()
-    }
-
-    /// True if `class` is active at `t`.
-    pub fn is_active(&self, t: f64, class: usize, num_classes: usize) -> bool {
-        self.active_at(t, num_classes).contains(&class)
-    }
-}
-
 /// A complete simulation setup.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -104,7 +53,11 @@ pub struct SimConfig {
     /// Workload classes.
     pub classes: Vec<WorkloadClass>,
     /// Optional class-alternation schedule (Section 5.3).
-    pub schedule: PhaseSchedule,
+    pub schedule: AlternationSchedule,
+    /// Tenant memory partitions; empty = single-tenant. Enforced by
+    /// `pmm::PartitionedPolicy` (classes map to partitions via
+    /// [`WorkloadClass::tenant`]).
+    pub tenants: Vec<TenantSpec>,
     /// Simulated run length in seconds (the paper runs 10 hours).
     pub duration_secs: f64,
     /// RNG master seed.
@@ -135,19 +88,34 @@ impl SimConfig {
                     size_range: (3000, 9000),
                 },
             ],
-            classes: vec![WorkloadClass {
-                name: "Medium".into(),
-                query_type: QueryType::HashJoin { groups: (0, 1) },
+            classes: vec![WorkloadClass::poisson(
+                "Medium",
+                QueryType::HashJoin { groups: (0, 1) },
                 arrival_rate,
-                slack_range: (2.5, 7.5),
-            }],
-            schedule: PhaseSchedule::default(),
+                (2.5, 7.5),
+            )],
+            schedule: AlternationSchedule::default(),
+            tenants: Vec::new(),
             duration_secs: 36_000.0,
             seed: 1994,
             sample_size: 30,
             window_secs: 1_200.0,
             firm_deadlines: true,
         }
+    }
+
+    /// Replace the workload with `scenario` (classes, schedule, tenants).
+    ///
+    /// # Panics
+    /// Panics when a class references an undeclared tenant — a scenario
+    /// authoring bug worth failing loudly on.
+    pub fn apply_scenario(&mut self, scenario: Scenario) {
+        if let Err(e) = scenario.validate() {
+            panic!("invalid scenario {:?}: {e}", scenario.name);
+        }
+        self.classes = scenario.classes;
+        self.schedule = scenario.schedule;
+        self.tenants = scenario.tenants;
     }
 
     /// Section 5.2: the baseline with disk contention — 6 disks.
@@ -161,20 +129,18 @@ impl SimConfig {
     /// ‖S‖ ∈ [250, 750]); group indices are relative to
     /// [`SimConfig::workload_changes`]' database.
     fn small_class(arrival_rate: f64) -> WorkloadClass {
-        WorkloadClass {
-            name: "Small".into(),
-            query_type: QueryType::HashJoin { groups: (2, 3) },
+        WorkloadClass::poisson(
+            "Small",
+            QueryType::HashJoin { groups: (2, 3) },
             arrival_rate,
-            slack_range: (2.5, 7.5),
-        }
+            (2.5, 7.5),
+        )
     }
 
-    /// Section 5.3: alternating Small / Medium classes every 2–5 simulated
-    /// hours on 6 disks (Table 8: Medium λ = 0.07, Small λ = 2.8).
-    pub fn workload_changes() -> Self {
-        let mut cfg = Self::baseline(0.07);
-        cfg.resources.num_disks = 6;
-        cfg.database = vec![
+    /// The four-group database shared by the workload-changes and
+    /// multiclass experiments (Medium + Small operand groups).
+    fn four_group_database() -> Vec<RelationGroupSpec> {
+        vec![
             RelationGroupSpec {
                 relations_per_disk: 3,
                 size_range: (600, 1800),
@@ -191,19 +157,25 @@ impl SimConfig {
                 relations_per_disk: 3,
                 size_range: (250, 750),
             },
-        ];
+        ]
+    }
+
+    /// Section 5.3: alternating Small / Medium classes every 2–5 simulated
+    /// hours on 6 disks (Table 8: Medium λ = 0.07, Small λ = 2.8).
+    pub fn workload_changes() -> Self {
+        let mut cfg = Self::baseline(0.07);
+        cfg.resources.num_disks = 6;
+        cfg.database = Self::four_group_database();
         cfg.classes.push(Self::small_class(2.8));
         // Alternate Medium / Small with phase lengths in the paper's
         // 2–5-hour range (deterministic so runs are reproducible).
-        cfg.schedule = PhaseSchedule {
-            phases: vec![
-                (9_000.0, vec![0]),  // Medium, 2.5 h
-                (14_400.0, vec![1]), // Small, 4 h
-                (10_800.0, vec![0]), // Medium, 3 h
-                (7_200.0, vec![1]),  // Small, 2 h
-                (12_600.0, vec![0]), // Medium, 3.5 h
-            ],
-        };
+        cfg.schedule = AlternationSchedule::cycle(vec![
+            (9_000.0, vec![0]),  // Medium, 2.5 h
+            (14_400.0, vec![1]), // Small, 4 h
+            (10_800.0, vec![0]), // Medium, 3 h
+            (7_200.0, vec![1]),  // Small, 2 h
+            (12_600.0, vec![0]), // Medium, 3.5 h
+        ]);
         cfg.duration_secs = 79_200.0; // cover all five phases (22 h)
         cfg
     }
@@ -213,24 +185,7 @@ impl SimConfig {
     pub fn multiclass(small_rate: f64) -> Self {
         let mut cfg = Self::baseline(0.065);
         cfg.resources.num_disks = 12;
-        cfg.database = vec![
-            RelationGroupSpec {
-                relations_per_disk: 3,
-                size_range: (600, 1800),
-            },
-            RelationGroupSpec {
-                relations_per_disk: 3,
-                size_range: (3000, 9000),
-            },
-            RelationGroupSpec {
-                relations_per_disk: 3,
-                size_range: (50, 150),
-            },
-            RelationGroupSpec {
-                relations_per_disk: 3,
-                size_range: (250, 750),
-            },
-        ];
+        cfg.database = Self::four_group_database();
         if small_rate > 0.0 {
             cfg.classes.push(Self::small_class(small_rate));
         }
@@ -241,12 +196,12 @@ impl SimConfig {
     /// joins (‖R‖ ∈ [600, 1800]).
     pub fn sorts(arrival_rate: f64) -> Self {
         let mut cfg = Self::baseline(arrival_rate);
-        cfg.classes = vec![WorkloadClass {
-            name: "Sort".into(),
-            query_type: QueryType::ExternalSort { group: 0 },
+        cfg.classes = vec![WorkloadClass::poisson(
+            "Sort",
+            QueryType::ExternalSort { group: 0 },
             arrival_rate,
-            slack_range: (2.5, 7.5),
-        }];
+            (2.5, 7.5),
+        )];
         cfg
     }
 
@@ -267,6 +222,48 @@ impl SimConfig {
         ];
         cfg
     }
+
+    /// Bursty-arrivals scenario: the baseline Medium join class driven by a
+    /// 2-state MMPP with the baseline's long-run rate (λ̄ = 0.06) but a
+    /// `burst_ratio`-to-1 rate swing between states (10-minute mean
+    /// sojourns). `burst_ratio ≤ 1` keeps plain Poisson arrivals — the
+    /// control cell of the burst experiment.
+    pub fn bursty(burst_ratio: f64) -> Self {
+        let mut cfg = Self::baseline(0.06);
+        if burst_ratio > 1.0 {
+            cfg.apply_scenario(Scenario::join_heavy(
+                (0, 1),
+                ArrivalSpec::bursty(0.06, burst_ratio, 600.0),
+            ));
+        }
+        cfg
+    }
+
+    /// Multi-tenant scenario: an "analytics" tenant running Medium joins and
+    /// a "reporting" tenant running sorts, both Poisson λ = 0.05, with
+    /// `analytics_frac` of the buffer pool reserved for analytics and the
+    /// rest for reporting. Pair with `pmm::PartitionedPolicy` (hard or
+    /// softened) or any shared policy as the no-isolation control.
+    pub fn multi_tenant(analytics_frac: f64) -> Self {
+        let mut cfg = Self::baseline(0.05);
+        let m = cfg.resources.memory_pages;
+        let quotas = workload::quota_split(m, &[analytics_frac, 1.0 - analytics_frac]);
+        let mut scenario = Scenario::mixed(
+            (0, 1),
+            ArrivalSpec::poisson(0.05),
+            0,
+            ArrivalSpec::poisson(0.05),
+        );
+        // Sorts bill the reporting partition — assigned before
+        // `apply_scenario` so its tenant-reference validation covers it.
+        scenario.classes[1].tenant = 1;
+        cfg.apply_scenario(
+            scenario
+                .tenant(TenantSpec::hard("analytics", quotas[0]))
+                .tenant(TenantSpec::hard("reporting", quotas[1])),
+        );
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -280,27 +277,10 @@ mod tests {
         assert_eq!(cfg.resources.num_disks, 10);
         assert_eq!(cfg.resources.memory_pages, 2560);
         assert_eq!(cfg.classes.len(), 1);
+        assert_eq!(cfg.classes[0].arrival, ArrivalSpec::poisson(0.06));
         assert_eq!(cfg.sample_size, 30);
         assert!(cfg.firm_deadlines);
-    }
-
-    #[test]
-    fn empty_schedule_means_always_active() {
-        let s = PhaseSchedule::default();
-        assert_eq!(s.active_at(12_345.0, 3), vec![0, 1, 2]);
-        assert!(s.is_active(0.0, 2, 3));
-    }
-
-    #[test]
-    fn schedule_cycles() {
-        let s = PhaseSchedule {
-            phases: vec![(100.0, vec![0]), (50.0, vec![1])],
-        };
-        assert_eq!(s.active_at(10.0, 2), vec![0]);
-        assert_eq!(s.active_at(120.0, 2), vec![1]);
-        // Wraps: 160 ≡ 10 (mod 150).
-        assert_eq!(s.active_at(160.0, 2), vec![0]);
-        assert!(!s.is_active(120.0, 0, 2));
+        assert!(cfg.tenants.is_empty());
     }
 
     #[test]
@@ -327,6 +307,43 @@ mod tests {
         let cfg = SimConfig::scaled_down(0.06);
         assert_eq!(cfg.resources.memory_pages, 256);
         assert_eq!(cfg.database[0].size_range, (60, 180));
-        assert!((cfg.classes[0].arrival_rate - 0.6).abs() < 1e-12);
+        assert!((cfg.classes[0].mean_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_preserves_the_mean_rate() {
+        let poisson = SimConfig::bursty(1.0);
+        assert_eq!(poisson.classes[0].arrival, ArrivalSpec::poisson(0.06));
+        let bursty = SimConfig::bursty(8.0);
+        assert!(matches!(
+            bursty.classes[0].arrival,
+            ArrivalSpec::Mmpp { .. }
+        ));
+        assert!((bursty.classes[0].mean_rate() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_tenant_splits_the_pool() {
+        let cfg = SimConfig::multi_tenant(0.75);
+        assert_eq!(cfg.tenants.len(), 2);
+        assert_eq!(cfg.tenants[0].quota_pages, 1920);
+        assert_eq!(cfg.tenants[1].quota_pages, 640);
+        assert_eq!(cfg.classes[0].tenant, 0);
+        assert_eq!(cfg.classes[1].tenant, 1);
+        assert!(matches!(
+            cfg.classes[1].query_type,
+            QueryType::ExternalSort { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn apply_scenario_rejects_dangling_tenant_refs() {
+        let mut cfg = SimConfig::baseline(0.05);
+        let bad = Scenario::join_heavy((0, 1), ArrivalSpec::poisson(0.05))
+            .tenant(TenantSpec::hard("only", 2560));
+        let mut classes = bad.classes.clone();
+        classes[0].tenant = 5;
+        cfg.apply_scenario(Scenario { classes, ..bad });
     }
 }

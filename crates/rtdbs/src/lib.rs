@@ -3,8 +3,10 @@
 //! This crate assembles the substrates into the paper's five-component
 //! simulation model (Figure 2):
 //!
-//! * **Source** — Poisson arrivals per workload class, operand selection
-//!   from the relation groups, slack-ratio deadline assignment.
+//! * **Source** — arrivals per workload class from the `workload` crate's
+//!   pluggable processes (Poisson, bursty MMPP, deterministic, trace
+//!   replay), operand selection from the relation groups, slack-ratio
+//!   deadline assignment, and multi-tenant class→partition mapping.
 //! * **Query Manager** — drives the memory-adaptive operators from `exec`.
 //! * **Buffer Manager** — reservation-based workspace memory ruled by a
 //!   [`pmm::MemoryPolicy`], with firm-deadline admission waiting.
@@ -21,6 +23,9 @@ pub mod cpu;
 pub mod engine;
 pub mod metrics;
 
-pub use config::{PhaseSchedule, QueryType, ResourceConfig, SimConfig, WorkloadClass};
+pub use config::{
+    AlternationSchedule, ArrivalSpec, PhaseSchedule, QueryType, ResourceConfig, Scenario,
+    SimConfig, TenantSpec, WorkloadClass,
+};
 pub use engine::{run_simulation, Event, Simulator};
 pub use metrics::{ClassOutcome, RunReport, Timings, WindowPoint};

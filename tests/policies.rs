@@ -18,6 +18,7 @@ fn demands_from_operators(n: u64) -> Vec<QueryDemand> {
                 deadline: SimTime::from_secs(100 + i),
                 max_mem: join.max_memory(),
                 min_mem: join.min_memory(),
+                tenant: 0,
             }
         })
         .collect()

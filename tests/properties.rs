@@ -17,6 +17,7 @@ fn demand_strategy() -> impl Strategy<Value = QueryDemand> {
             deadline: SimTime(dl),
             min_mem: min,
             max_mem: min + extra,
+            tenant: 0,
         }
     })
 }
