@@ -1,0 +1,240 @@
+//! Hot-path micro-benchmarks: the three substrates the event loop spends
+//! its time in — the calendar (push/pop/cancel), the memory-division
+//! allocators behind `reallocate()`, and the per-disk ED+elevator queue.
+//!
+//! These start the repo's perf trajectory: run
+//! `cargo bench -p bench --bench hotpath_micro` before and after touching
+//! the event loop, and keep `BENCH_perf.json` (the driver's events/sec
+//! reading) moving in the same direction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::pmm::{
+    minmax_allocate, minmax_allocate_into, proportional_allocate, AllocScratch, Grants,
+    QueryDemand, QueryId,
+};
+use pmm_core::simkit::{Calendar, Duration, SimTime};
+use pmm_core::storage::{DiskQueue, QueuedRequest};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random stream (SplitMix64) for bench inputs.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn demands(n: u64) -> Vec<QueryDemand> {
+    (0..n)
+        .map(|i| QueryDemand {
+            id: QueryId(i),
+            deadline: SimTime(1_000_000 + mix(i) % 10_000_000),
+            min_mem: 37,
+            max_mem: 200 + (mix(i ^ 0xABCD) % 1200) as u32,
+            tenant: 0,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Engine-realistic calendar depth: one in-flight event plus one deadline
+    // per live query tops out around a couple hundred entries. Drain/refill
+    // many times so the timing is dominated by steady-state churn.
+    c.bench_function("calendar/push_pop_256", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            let mut n = 0u64;
+            for round in 0..40u64 {
+                for i in 0..256u64 {
+                    let k = round * 256 + i;
+                    cal.schedule(cal.now() + Duration(1 + mix(k) % 10_000), k);
+                }
+                while cal.pop().is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    // Stress depth (far beyond what the engine builds): keeps the asymptote
+    // honest in the trajectory.
+    c.bench_function("calendar/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime(100_000 + mix(i) % 1_000_000), i);
+            }
+            let mut n = 0u64;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("calendar/cancel_half_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            let handles: Vec<_> = (0..10_000u64)
+                .map(|i| cal.schedule(SimTime(100_000 + mix(i) % 1_000_000), i))
+                .collect();
+            for h in handles.iter().step_by(2) {
+                cal.cancel(*h);
+            }
+            let mut n = 0u64;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    // The engine's firm-deadline pattern: every query schedules a far-future
+    // deadline event that is cancelled when the query completes first.
+    c.bench_function("calendar/deadline_churn_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            let mut live = 0u64;
+            for i in 0..10_000u64 {
+                let now = cal.now();
+                // Deadline far out; work lands first, then the deadline is
+                // cancelled — so cancelled entries pile up in the calendar.
+                let h = cal.schedule(now + Duration::from_secs(100), i);
+                cal.schedule(now + Duration(1 + mix(i) % 100), i);
+                if cal.pop().is_some() {
+                    live += 1;
+                }
+                cal.cancel(h);
+            }
+            while cal.pop().is_some() {
+                live += 1;
+            }
+            black_box(live)
+        })
+    });
+
+    c.bench_function("reallocate/minmax_64", |b| {
+        let queries = demands(64);
+        b.iter(|| black_box(minmax_allocate(black_box(&queries), 2560, None)))
+    });
+
+    c.bench_function("reallocate/proportional_64", |b| {
+        let queries = demands(64);
+        b.iter(|| black_box(proportional_allocate(black_box(&queries), 2560, None)))
+    });
+
+    // The engine's actual steady-state path: warm caller-owned scratch, no
+    // allocation per call. (Absent from the pre-refactor baseline — the
+    // `_into` API is new.)
+    c.bench_function("reallocate/minmax_into_64_warm", |b| {
+        let queries = demands(64);
+        let mut scratch = AllocScratch::default();
+        let mut out = Grants::new();
+        b.iter(|| {
+            minmax_allocate_into(black_box(&queries), 2560, None, &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    // The engine-shaped case: every request carries a distinct deadline
+    // (a deadline level is one query, and each query has at most one
+    // outstanding I/O), depth bounded by the live-query population.
+    c.bench_function("disk_queue/engine_mix_96", |b| {
+        b.iter(|| {
+            let mut q: DiskQueue<u64> = DiskQueue::new();
+            let mut head = 0u32;
+            let mut n = 0u64;
+            for round in 0..100u64 {
+                for i in 0..96u64 {
+                    let k = round * 96 + i;
+                    q.push(QueuedRequest {
+                        deadline: SimTime(1_000_000 + k * 37 + mix(k) % 17),
+                        cylinder: (mix(k ^ 0x5A5A) % 1500) as u32,
+                        tag: k,
+                    });
+                }
+                while let Some(r) = q.pop(head) {
+                    head = r.cylinder;
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    // Tie-heavy stress: 12-deep deadline levels and same-cylinder piles.
+    // The engine cannot produce these shapes (see above), but they record
+    // the flat scan's worst case in the trajectory.
+    c.bench_function("disk_queue/push_pop_96", |b| {
+        b.iter(|| {
+            let mut q: DiskQueue<u64> = DiskQueue::new();
+            let mut head = 0u32;
+            let mut n = 0u64;
+            for round in 0..100u64 {
+                for i in 0..96u64 {
+                    let k = round * 96 + i;
+                    q.push(QueuedRequest {
+                        // Few distinct deadlines → wide levels,
+                        // elevator-heavy.
+                        deadline: SimTime(1_000 + round * 10 + mix(k) % 8),
+                        cylinder: (mix(k ^ 0x5A5A) % 1500) as u32,
+                        tag: k,
+                    });
+                }
+                while let Some(r) = q.pop(head) {
+                    head = r.cylinder;
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("disk_queue/fifo_bucket_96", |b| {
+        b.iter(|| {
+            let mut q: DiskQueue<u64> = DiskQueue::new();
+            let mut n = 0u64;
+            // One deadline, one cylinder: a pure FIFO bucket — the
+            // `Vec::remove(0)` path of the seed implementation.
+            for round in 0..100u64 {
+                for i in 0..96u64 {
+                    q.push(QueuedRequest {
+                        deadline: SimTime(7 + round),
+                        cylinder: 42,
+                        tag: i,
+                    });
+                }
+                while q.pop(42).is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    // Stress depth: ~10× deeper than the engine ever queues. The flat scan
+    // is O(n) per pop, so this case deliberately records the asymptote.
+    c.bench_function("disk_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: DiskQueue<u64> = DiskQueue::new();
+            for i in 0..1_024u64 {
+                q.push(QueuedRequest {
+                    deadline: SimTime(1_000 + mix(i) % 8),
+                    cylinder: (mix(i ^ 0x5A5A) % 1500) as u32,
+                    tag: i,
+                });
+            }
+            let mut head = 0u32;
+            let mut n = 0u64;
+            while let Some(r) = q.pop(head) {
+                head = r.cylinder;
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

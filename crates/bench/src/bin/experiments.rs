@@ -36,7 +36,7 @@
 //! Report-mode artifacts: fig3 fig4 fig5 table7 fig6 fig7 fig8 fig9 fig10
 //! fig11 fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
 
-use bench::driver::{run_figure, DriverConfig, FIGURES};
+use bench::driver::{perf_json, run_figure, DriverConfig, FIGURES};
 use bench::*;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -144,6 +144,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
     }
     let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
 
+    let mut perf: Vec<(String, bench::driver::FigurePerf)> = Vec::new();
     for figure in &figures {
         let started = std::time::Instant::now();
         let result = run_figure(figure, cfg)?;
@@ -152,14 +153,27 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, result.to_json())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!(
-            "wrote {} ({} cells × {} seeds, {:.1}s wall on {} threads)\n",
+            "wrote {} ({} cells × {} seeds, {:.1}s wall on {} threads, \
+             {:.0} events/s per core)\n",
             path.display(),
             result.cells.len(),
             cfg.seeds,
             started.elapsed().as_secs_f64(),
             cfg.threads,
+            result.perf.events_per_sec(),
         );
+        perf.push((figure.clone(), result.perf));
     }
+    // The perf trajectory is a separate artifact: BENCH_<figure>.json stays
+    // byte-identical across machines and thread counts, BENCH_perf.json
+    // deliberately is not.
+    let perf_path = out_dir.join("BENCH_perf.json");
+    std::fs::write(&perf_path, perf_json(cfg, &perf))
+        .map_err(|e| format!("cannot write {}: {e}", perf_path.display()))?;
+    println!(
+        "wrote {} (perf trajectory; not determinism-pinned)",
+        perf_path.display()
+    );
     Ok(())
 }
 

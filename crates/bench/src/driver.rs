@@ -291,6 +291,67 @@ fn merge_windows(reports: &[RunReport]) -> Vec<MergedWindow> {
         .collect()
 }
 
+/// Wall-clock perf readings for one cell: calendar events dispatched and
+/// wall seconds spent, summed over the cell's replications. `wall_secs` is
+/// per-unit wall time (each unit is timed on its own worker), so
+/// `events_per_sec` approximates per-core simulator throughput. For
+/// trustworthy numbers run with `--threads 1`: oversubscribed workers on a
+/// CPU-quota-limited machine timeshare, which inflates per-unit wall time.
+#[derive(Clone, Debug)]
+pub struct CellPerf {
+    /// The swept parameter.
+    pub x: f64,
+    /// Policy short name.
+    pub policy: String,
+    /// Calendar events dispatched, summed over replications.
+    pub events: u64,
+    /// Wall seconds, summed over replications.
+    pub wall_secs: f64,
+}
+
+impl CellPerf {
+    /// Simulator throughput in events per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One figure's perf trajectory. Deliberately **not** part of
+/// [`FigureResult::to_json`]: wall-clock readings vary by machine and run,
+/// so they live in the separate `BENCH_perf.json` (see [`perf_json`]) which
+/// is never diffed for byte-identity.
+#[derive(Clone, Debug, Default)]
+pub struct FigurePerf {
+    /// Per-cell readings, in the figure's canonical cell order.
+    pub cells: Vec<CellPerf>,
+}
+
+impl FigurePerf {
+    /// Total events dispatched across cells.
+    pub fn events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Total wall seconds across cells.
+    pub fn wall_secs(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_secs).sum()
+    }
+
+    /// Aggregate throughput in events per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        let wall = self.wall_secs();
+        if wall > 0.0 {
+            self.events() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A figure's complete merged result.
 #[derive(Clone, Debug)]
 pub struct FigureResult {
@@ -302,6 +363,8 @@ pub struct FigureResult {
     pub config: DriverConfig,
     /// Merged cells, in the figure's canonical order.
     pub cells: Vec<MergedCell>,
+    /// Wall-clock perf readings (kept out of the deterministic JSON).
+    pub perf: FigurePerf,
 }
 
 /// Derive the RNG seed for replication `rep` — stable for a given master
@@ -332,7 +395,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
     let units: Vec<(usize, usize)> = (0..spec.cells.len())
         .flat_map(|c| (0..seeds.len()).map(move |s| (c, s)))
         .collect();
-    let results: Vec<OnceLock<RunReport>> =
+    let results: Vec<OnceLock<(RunReport, f64)>> =
         units.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
 
@@ -343,9 +406,11 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         sim.duration_secs = cfg.secs;
         sim.seed = seeds[s];
         let policy = make_policy_for(&sim, &cell.policy);
+        let started = std::time::Instant::now();
         let report = run_simulation(sim, policy);
+        let wall = started.elapsed().as_secs_f64();
         results[unit]
-            .set(report)
+            .set((report, wall))
             .expect("each unit is claimed exactly once");
     };
 
@@ -368,19 +433,28 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         });
     }
 
+    let mut perf = FigurePerf::default();
     let cells = spec
         .cells
         .iter()
         .enumerate()
         .map(|(c, cell)| {
+            let mut wall_secs = 0.0;
             let reports: Vec<RunReport> = (0..seeds.len())
                 .map(|s| {
-                    results[c * seeds.len() + s]
+                    let (report, wall) = results[c * seeds.len() + s]
                         .get()
-                        .expect("all units completed")
-                        .clone()
+                        .expect("all units completed");
+                    wall_secs += wall;
+                    report.clone()
                 })
                 .collect();
+            perf.cells.push(CellPerf {
+                x: cell.x,
+                policy: cell.policy.clone(),
+                events: reports.iter().map(|r| r.events).sum(),
+                wall_secs,
+            });
             MergedCell {
                 x: cell.x,
                 policy: cell.policy.clone(),
@@ -405,7 +479,55 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         x_label: spec.x_label,
         config: cfg,
         cells,
+        perf,
     })
+}
+
+/// Serialize the perf trajectory of one driver invocation to the
+/// `BENCH_perf.json` format. Unlike `BENCH_<figure>.json` this output
+/// contains wall-clock readings, so it varies by machine and run — CI
+/// archives it as a trajectory artifact but never diffs it byte-for-byte.
+pub fn perf_json(cfg: DriverConfig, figures: &[(String, FigurePerf)]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(&format!(
+        "{{\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \"kind\": \"perf\",\n  \
+         \"note\": \"wall-clock perf trajectory; machine-dependent, never \
+         diffed for byte-identity\",\n  \"seeds\": {},\n  \"master_seed\": {},\n  \
+         \"threads\": {},\n  \"sim_secs\": ",
+        cfg.seeds, cfg.master_seed, cfg.threads
+    ));
+    push_f64(&mut out, cfg.secs);
+    out.push_str(",\n  \"figures\": [\n");
+    for (i, (name, perf)) in figures.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"figure\":\"{name}\",\"events\":{},\"wall_secs\":",
+            perf.events()
+        ));
+        push_f64(&mut out, perf.wall_secs());
+        out.push_str(",\"events_per_sec\":");
+        push_f64(&mut out, perf.events_per_sec());
+        out.push_str(",\"cells\":[");
+        for (j, c) in perf.cells.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"x\":{:?},\"policy\":\"{}\",\"events\":{},\"wall_secs\":",
+                c.x, c.policy, c.events
+            ));
+            push_f64(&mut out, c.wall_secs);
+            out.push_str(",\"events_per_sec\":");
+            push_f64(&mut out, c.events_per_sec());
+            out.push('}');
+        }
+        out.push_str("]}");
+        if i + 1 < figures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 // --- JSON emission (hand-rolled: no registry access, so no serde) ---------

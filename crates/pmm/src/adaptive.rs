@@ -19,7 +19,10 @@
 //! (dropping all learned statistics) when any of them shifts significantly
 //! at `ChangeConfLevel` (Section 3.3).
 
-use crate::allocator::{max_allocate, minmax_allocate, Grants};
+use crate::allocator::{
+    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into, AllocScratch,
+    Grants,
+};
 use crate::policy::MemoryPolicy;
 use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
 use simkit::metrics::Tally;
@@ -222,6 +225,27 @@ impl MemoryPolicy for Pmm {
                 &snapshot.queries,
                 snapshot.total_memory,
                 Some(self.target_mpl),
+            ),
+            StrategyMode::Proportional => unreachable!("PMM never uses Proportional"),
+        }
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        match self.mode {
+            StrategyMode::Max => {
+                max_allocate_into(&snapshot.queries, snapshot.total_memory, scratch, out);
+            }
+            StrategyMode::MinMax => minmax_allocate_into(
+                &snapshot.queries,
+                snapshot.total_memory,
+                Some(self.target_mpl),
+                scratch,
+                out,
             ),
             StrategyMode::Proportional => unreachable!("PMM never uses Proportional"),
         }

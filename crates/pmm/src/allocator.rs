@@ -12,28 +12,53 @@ use crate::types::{QueryDemand, QueryId};
 /// memory (they wait, or are suspended).
 pub type Grants = Vec<(QueryId, u32)>;
 
-/// Sort a copy of the demands in ED order (deadline, then id for a stable
-/// tie-break).
-fn ed_order(queries: &[QueryDemand]) -> Vec<QueryDemand> {
-    let mut sorted = queries.to_vec();
-    sorted.sort_by_key(|q| (q.deadline, q.id));
-    sorted
+/// Reusable scratch for the `*_allocate_into` entry points: the ED-sorted
+/// demand copy and the water-filling pin flags. One instance amortizes every
+/// per-call allocation of the seed implementation (`queries.to_vec()` plus a
+/// fresh `Vec<bool>`), which ran on *every* calendar event that moved a
+/// query. The convenience wrappers build a throwaway one.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    sorted: Vec<QueryDemand>,
+    pinned: Vec<bool>,
+}
+
+impl AllocScratch {
+    /// Fill `self.sorted` with the demands in ED order (deadline, then id —
+    /// a unique key, so the unstable sort is deterministic).
+    fn ed_order(&mut self, queries: &[QueryDemand]) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(queries);
+        self.sorted.sort_unstable_by_key(|q| (q.deadline, q.id));
+    }
 }
 
 /// **Max** strategy: in ED order, each query gets its maximum demand or the
 /// admission stops. No explicit MPL limit — memory itself is the limiter.
 pub fn max_allocate(queries: &[QueryDemand], total: u32) -> Grants {
-    let mut grants = Grants::new();
+    let mut out = Grants::new();
+    max_allocate_into(queries, total, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// [`max_allocate`] into caller-owned buffers; allocation-free once warm.
+pub fn max_allocate_into(
+    queries: &[QueryDemand],
+    total: u32,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) {
+    scratch.ed_order(queries);
+    out.clear();
     let mut free = total;
-    for q in ed_order(queries) {
+    for q in &scratch.sorted {
         if q.max_mem <= free {
             free -= q.max_mem;
-            grants.push((q.id, q.max_mem));
+            out.push((q.id, q.max_mem));
         } else {
             break; // strict ED: nobody overtakes a blocked urgent query
         }
     }
-    grants
 }
 
 /// **MinMax-N** strategy: admit the `limit` most urgent queries (all of
@@ -46,23 +71,42 @@ pub fn minmax_allocate(
     total: u32,
     limit: Option<u32>,
 ) -> Grants {
-    let sorted = ed_order(queries);
+    let mut out = Grants::new();
+    minmax_allocate_into(
+        queries,
+        total,
+        limit,
+        &mut AllocScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`minmax_allocate`] into caller-owned buffers; allocation-free once warm.
+pub fn minmax_allocate_into(
+    queries: &[QueryDemand],
+    total: u32,
+    limit: Option<u32>,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) {
+    scratch.ed_order(queries);
     let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
     // Pass 1: minimums, in priority order, stopping when memory or the MPL
     // limit is exhausted.
-    let mut grants = Grants::new();
+    out.clear();
     let mut free = total;
-    for q in sorted.iter().take(n) {
+    for q in scratch.sorted.iter().take(n) {
         if q.min_mem <= free {
             free -= q.min_mem;
-            grants.push((q.id, q.min_mem));
+            out.push((q.id, q.min_mem));
         } else {
             break;
         }
     }
     // Pass 2: top up to the maximum, again in priority order.
-    for (i, grant) in grants.iter_mut().enumerate() {
-        let want = sorted[i].max_mem - grant.1;
+    for (i, grant) in out.iter_mut().enumerate() {
+        let want = scratch.sorted[i].max_mem - grant.1;
         let extra = want.min(free);
         grant.1 += extra;
         free -= extra;
@@ -70,7 +114,6 @@ pub fn minmax_allocate(
             break;
         }
     }
-    grants
 }
 
 /// **Proportional-N** strategy: admit like MinMax-N, but divide memory so
@@ -83,35 +126,60 @@ pub fn proportional_allocate(
     total: u32,
     limit: Option<u32>,
 ) -> Grants {
-    let sorted = ed_order(queries);
+    let mut out = Grants::new();
+    proportional_allocate_into(
+        queries,
+        total,
+        limit,
+        &mut AllocScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// [`proportional_allocate`] into caller-owned buffers; allocation-free
+/// once warm.
+pub fn proportional_allocate_into(
+    queries: &[QueryDemand],
+    total: u32,
+    limit: Option<u32>,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) {
+    scratch.ed_order(queries);
     let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
-    // Admission: maximal ED prefix whose minimums fit.
-    let mut admitted: Vec<&QueryDemand> = Vec::new();
+    out.clear();
+    // Admission: maximal ED prefix whose minimums fit — a contiguous prefix
+    // of the sorted scratch, so a count suffices.
+    let mut admitted = 0usize;
     let mut min_sum = 0u64;
-    for q in sorted.iter().take(n) {
+    for q in scratch.sorted.iter().take(n) {
         if min_sum + q.min_mem as u64 <= total as u64 {
             min_sum += q.min_mem as u64;
-            admitted.push(q);
+            admitted += 1;
         } else {
             break;
         }
     }
-    if admitted.is_empty() {
-        return Grants::new();
+    if admitted == 0 {
+        return;
     }
+    let admitted_q = &scratch.sorted[..admitted];
     // Water-fill the common fraction.
-    let mut pinned = vec![false; admitted.len()];
+    scratch.pinned.clear();
+    scratch.pinned.resize(admitted, false);
+    let pinned = &mut scratch.pinned;
     let mut frac = 1.0f64;
-    for _ in 0..admitted.len() + 1 {
-        let pinned_mem: u64 = admitted
+    for _ in 0..admitted + 1 {
+        let pinned_mem: u64 = admitted_q
             .iter()
-            .zip(&pinned)
+            .zip(pinned.iter())
             .filter(|&(_, &p)| p)
             .map(|(q, _)| q.min_mem as u64)
             .sum();
-        let unpinned_max: u64 = admitted
+        let unpinned_max: u64 = admitted_q
             .iter()
-            .zip(&pinned)
+            .zip(pinned.iter())
             .filter(|&(_, &p)| !p)
             .map(|(q, _)| q.max_mem as u64)
             .sum();
@@ -121,7 +189,7 @@ pub fn proportional_allocate(
         }
         frac = ((total as u64 - pinned_mem) as f64 / unpinned_max as f64).min(1.0);
         let mut newly_pinned = false;
-        for (i, q) in admitted.iter().enumerate() {
+        for (i, q) in admitted_q.iter().enumerate() {
             if !pinned[i] && (frac * q.max_mem as f64) < q.min_mem as f64 {
                 pinned[i] = true;
                 newly_pinned = true;
@@ -131,18 +199,14 @@ pub fn proportional_allocate(
             break;
         }
     }
-    admitted
-        .iter()
-        .zip(&pinned)
-        .map(|(q, &p)| {
-            let pages = if p {
-                q.min_mem
-            } else {
-                ((frac * q.max_mem as f64).floor() as u32).clamp(q.min_mem, q.max_mem)
-            };
-            (q.id, pages)
-        })
-        .collect()
+    out.extend(admitted_q.iter().zip(pinned.iter()).map(|(q, &p)| {
+        let pages = if p {
+            q.min_mem
+        } else {
+            ((frac * q.max_mem as f64).floor() as u32).clamp(q.min_mem, q.max_mem)
+        };
+        (q.id, pages)
+    }));
 }
 
 /// Sum of granted pages (helper for invariant checks).
@@ -186,45 +250,94 @@ pub fn partitioned_allocate(
     total: u32,
     limit: Option<u32>,
 ) -> Grants {
+    let mut out = Grants::new();
+    partitioned_allocate_into(
+        queries,
+        partitions,
+        total,
+        limit,
+        &mut PartitionScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Reusable scratch for [`partitioned_allocate_into`]: per-partition demand
+/// groups and grant buffers, plus the shared [`AllocScratch`] the inner
+/// MinMax passes sort in.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    groups: Vec<Vec<QueryDemand>>,
+    part_grants: Vec<Grants>,
+    regrant: Grants,
+    alloc: AllocScratch,
+}
+
+/// [`partitioned_allocate`] into caller-owned buffers; allocation-free once
+/// warm.
+pub fn partitioned_allocate_into(
+    queries: &[QueryDemand],
+    partitions: &[PartitionSpec],
+    total: u32,
+    limit: Option<u32>,
+    scratch: &mut PartitionScratch,
+    out: &mut Grants,
+) {
     if partitions.is_empty() {
-        return minmax_allocate(queries, total, limit);
+        minmax_allocate_into(queries, total, limit, &mut scratch.alloc, out);
+        return;
     }
     let n = partitions.len();
-    let mut groups: Vec<Vec<QueryDemand>> = vec![Vec::new(); n];
+    scratch.groups.resize_with(n, Vec::new);
+    scratch.part_grants.resize_with(n, Grants::new);
+    for g in &mut scratch.groups[..n] {
+        g.clear();
+    }
     for q in queries {
-        groups[(q.tenant as usize).min(n - 1)].push(*q);
+        scratch.groups[(q.tenant as usize).min(n - 1)].push(*q);
     }
     // Pass 1: every partition allocates within its own quota, capped so the
     // reservations themselves never oversubscribe the pool.
     let mut unreserved = total;
-    let mut per_part: Vec<Grants> = partitions
-        .iter()
-        .zip(&groups)
-        .map(|(spec, group)| {
-            let budget = spec.quota.min(unreserved);
-            unreserved -= budget;
-            minmax_allocate(group, budget, limit)
-        })
-        .collect();
-    let used: u64 = per_part.iter().map(granted_total).sum();
+    for (i, spec) in partitions.iter().enumerate() {
+        let budget = spec.quota.min(unreserved);
+        unreserved -= budget;
+        minmax_allocate_into(
+            &scratch.groups[i],
+            budget,
+            limit,
+            &mut scratch.alloc,
+            &mut scratch.part_grants[i],
+        );
+    }
+    let used: u64 = scratch.part_grants[..n].iter().map(granted_total).sum();
     // Pass 2 (borrow-back): idle pages go to soft partitions in order.
     let mut pool = (total as u64).saturating_sub(used);
     for (i, spec) in partitions.iter().enumerate() {
         if !spec.soft || pool == 0 {
             continue;
         }
-        let own = granted_total(&per_part[i]);
+        let own = granted_total(&scratch.part_grants[i]);
         let budget = (own + pool).min(u32::MAX as u64) as u32;
-        let regrant = minmax_allocate(&groups[i], budget, limit);
-        let regrant_used = granted_total(&regrant);
+        minmax_allocate_into(
+            &scratch.groups[i],
+            budget,
+            limit,
+            &mut scratch.alloc,
+            &mut scratch.regrant,
+        );
+        let regrant_used = granted_total(&scratch.regrant);
         // More memory can only admit more / grant more under MinMax, but
         // guard the invariant anyway: never shrink below the quota pass.
         if regrant_used >= own {
             pool -= regrant_used - own;
-            per_part[i] = regrant;
+            std::mem::swap(&mut scratch.part_grants[i], &mut scratch.regrant);
         }
     }
-    per_part.into_iter().flatten().collect()
+    out.clear();
+    for grants in &scratch.part_grants[..n] {
+        out.extend_from_slice(grants);
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +666,64 @@ mod tests {
         let a = partitioned_allocate(&queries, &parts, 2560, Some(8));
         let b = partitioned_allocate(&queries, &parts, 2560, Some(8));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_with_warm_scratch() {
+        // One scratch reused across many differently-shaped calls: results
+        // must be identical to the fresh-allocation wrappers every time.
+        let mut scratch = AllocScratch::default();
+        let mut pscratch = PartitionScratch::default();
+        let mut out = Grants::new();
+        let parts = [
+            PartitionSpec {
+                quota: 900,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1660,
+                soft: false,
+            },
+        ];
+        let mut x = 0x1234_5678u64;
+        for round in 0..50u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+            let n = x % 30;
+            let queries: Vec<_> = (0..n)
+                .map(|i| {
+                    let h = x.wrapping_mul(i + 1);
+                    QueryDemand {
+                        id: QueryId(i),
+                        deadline: SimTime(100 + h % 500),
+                        min_mem: 10 + (h % 60) as u32,
+                        max_mem: 100 + (h % 1300) as u32,
+                        tenant: (h % 2) as u32,
+                    }
+                })
+                .collect();
+            let total = 200 + (x % 3000) as u32;
+            let limit = if x.is_multiple_of(3) {
+                Some((x % 8) as u32)
+            } else {
+                None
+            };
+
+            max_allocate_into(&queries, total, &mut scratch, &mut out);
+            assert_eq!(out, max_allocate(&queries, total));
+            minmax_allocate_into(&queries, total, limit, &mut scratch, &mut out);
+            assert_eq!(out, minmax_allocate(&queries, total, limit));
+            proportional_allocate_into(&queries, total, limit, &mut scratch, &mut out);
+            assert_eq!(out, proportional_allocate(&queries, total, limit));
+            partitioned_allocate_into(
+                &queries,
+                &parts,
+                total,
+                limit,
+                &mut pscratch,
+                &mut out,
+            );
+            assert_eq!(out, partitioned_allocate(&queries, &parts, total, limit));
+        }
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod types;
 
 pub use adaptive::{Pmm, PmmParams};
 pub use allocator::{
-    max_allocate, minmax_allocate, partitioned_allocate, proportional_allocate, Grants,
-    PartitionSpec,
+    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into,
+    partitioned_allocate, partitioned_allocate_into, proportional_allocate,
+    proportional_allocate_into, AllocScratch, Grants, PartitionScratch, PartitionSpec,
 };
 pub use partition::PartitionedPolicy;
 pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};

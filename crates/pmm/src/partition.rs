@@ -8,7 +8,10 @@
 //! `TenantSpec`; the simulator stamps each query's partition into
 //! [`crate::QueryDemand::tenant`].
 
-use crate::allocator::{partitioned_allocate, Grants, PartitionSpec};
+use crate::allocator::{
+    partitioned_allocate, partitioned_allocate_into, AllocScratch, Grants,
+    PartitionScratch, PartitionSpec,
+};
 use crate::policy::MemoryPolicy;
 use crate::types::{StrategyMode, SystemSnapshot};
 
@@ -16,6 +19,9 @@ use crate::types::{StrategyMode, SystemSnapshot};
 pub struct PartitionedPolicy {
     partitions: Vec<PartitionSpec>,
     limit: Option<u32>,
+    /// Per-partition group/grant buffers reused across allocation events
+    /// (the caller-owned `AllocScratch` only covers the shared ED sort).
+    scratch: PartitionScratch,
 }
 
 impl PartitionedPolicy {
@@ -24,6 +30,7 @@ impl PartitionedPolicy {
         PartitionedPolicy {
             partitions,
             limit: None,
+            scratch: PartitionScratch::default(),
         }
     }
 
@@ -69,6 +76,22 @@ impl MemoryPolicy for PartitionedPolicy {
             snapshot.total_memory,
             self.limit,
         )
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        _scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        partitioned_allocate_into(
+            &snapshot.queries,
+            &self.partitions,
+            snapshot.total_memory,
+            self.limit,
+            &mut self.scratch,
+            out,
+        );
     }
 
     fn target_mpl(&self) -> Option<u32> {

@@ -1,6 +1,9 @@
 //! The policy interface and the static baseline algorithms of Table 5.
 
-use crate::allocator::{max_allocate, minmax_allocate, proportional_allocate, Grants};
+use crate::allocator::{
+    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into,
+    proportional_allocate, proportional_allocate_into, AllocScratch, Grants,
+};
 use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
 
 /// A memory-management policy: the simulator consults it whenever the set
@@ -13,6 +16,20 @@ pub trait MemoryPolicy {
     /// Desired allocation for every live query; omitted queries receive no
     /// memory.
     fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants;
+
+    /// Allocation-free variant of [`MemoryPolicy::allocate`]: write the
+    /// grants into `out`, reusing the caller-owned `scratch` for the ED
+    /// sort. The simulator calls this on every reallocation event; policies
+    /// that don't override it fall back to the allocating path.
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        let _ = scratch;
+        *out = self.allocate(snapshot);
+    }
 
     /// Batch boundary callback (adaptive policies learn here).
     fn on_batch(&mut self, _stats: &BatchStats) {}
@@ -42,6 +59,15 @@ impl MemoryPolicy for MaxPolicy {
 
     fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
         max_allocate(&snapshot.queries, snapshot.total_memory)
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        max_allocate_into(&snapshot.queries, snapshot.total_memory, scratch, out);
     }
 
     fn mode(&self) -> StrategyMode {
@@ -77,6 +103,21 @@ impl MemoryPolicy for MinMaxPolicy {
 
     fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
         minmax_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        minmax_allocate_into(
+            &snapshot.queries,
+            snapshot.total_memory,
+            self.limit,
+            scratch,
+            out,
+        );
     }
 
     fn target_mpl(&self) -> Option<u32> {
@@ -115,6 +156,21 @@ impl MemoryPolicy for ProportionalPolicy {
 
     fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
         proportional_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        proportional_allocate_into(
+            &snapshot.queries,
+            snapshot.total_memory,
+            self.limit,
+            scratch,
+            out,
+        );
     }
 
     fn target_mpl(&self) -> Option<u32> {

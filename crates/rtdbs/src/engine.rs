@@ -24,11 +24,14 @@ use crate::config::{QueryType, SimConfig};
 use crate::cpu::CpuManager;
 use crate::metrics::{ClassOutcome, RunReport, TimingTallies, WindowPoint};
 use exec::{Action, ExternalSort, FileRef, HashJoin, Operator};
-use pmm::{BatchStats, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot};
+use pmm::{
+    AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
+};
+use simkit::calendar::EventHandle;
 use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
 use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
 use stats::SampleSummary;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, VecDeque};
 use storage::{Access, DiskFarm, FileId, Layout, RelationMeta, Service};
 use workload::ArrivalProcess;
 
@@ -82,6 +85,9 @@ struct LiveQuery {
     waiting: Waiting,
     temps: HashMap<u32, FileId>,
     operand_ios: u32,
+    /// The query's firm-deadline abort event, cancelled on completion so
+    /// long runs do not carry dead deadline events in the calendar.
+    deadline_handle: Option<EventHandle>,
 }
 
 impl LiveQuery {
@@ -106,6 +112,112 @@ impl LiveQuery {
     }
 }
 
+/// Sentinel in the id window marking a departed query.
+const DEAD_SLOT: u32 = u32::MAX;
+
+/// The live-query table: a slab of reusable slots plus a sliding dense
+/// index from `QueryId` to slot.
+///
+/// The seed engine kept `BTreeMap<QueryId, LiveQuery>` and did a full
+/// remove + insert round-trip (moving the boxed operator through the tree)
+/// every time `drive()` advanced a query — on *every* CPU and disk
+/// completion. Here queries stay put in their slot for their whole life;
+/// events resolve `id → slot` through `slot_of`, a `VecDeque<u32>` window
+/// over the contiguous id space (ids are assigned sequentially, so the
+/// window is dense: index `id - base`, front advanced past departed ids).
+/// Lookups are two array probes — no tree walk, no hashing — and the slab
+/// index doubles as the key of the dense grant map in `reallocate`.
+struct QueryTable {
+    slots: Vec<Option<LiveQuery>>,
+    free: Vec<u32>,
+    slot_of: VecDeque<u32>,
+    base: u64,
+}
+
+impl QueryTable {
+    fn new() -> Self {
+        QueryTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: VecDeque::new(),
+            base: 0,
+        }
+    }
+
+    /// Insert the next arrival. Ids must arrive in sequence — the engine
+    /// allocates them from a counter, which keeps the index dense.
+    fn insert(&mut self, q: LiveQuery) -> u32 {
+        debug_assert_eq!(
+            q.id.0,
+            self.base + self.slot_of.len() as u64,
+            "query ids must be sequential"
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(q);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slot count fits u32");
+                self.slots.push(Some(q));
+                s
+            }
+        };
+        self.slot_of.push_back(slot);
+        slot
+    }
+
+    /// Slot of a live query, or `None` if it departed (or never existed).
+    fn slot_of(&self, id: QueryId) -> Option<u32> {
+        let idx = id.0.checked_sub(self.base)?;
+        match self.slot_of.get(idx as usize) {
+            Some(&s) if s != DEAD_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_mut(&mut self, id: QueryId) -> Option<&mut LiveQuery> {
+        let slot = self.slot_of(id)?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Direct slab access for a slot known to be occupied.
+    fn slot_mut(&mut self, slot: u32) -> &mut LiveQuery {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("slot holds a live query")
+    }
+
+    fn remove(&mut self, id: QueryId) -> Option<LiveQuery> {
+        let slot = self.slot_of(id)?;
+        let idx = (id.0 - self.base) as usize;
+        self.slot_of[idx] = DEAD_SLOT;
+        // Slide the window past departed ids at the front.
+        while self.slot_of.front() == Some(&DEAD_SLOT) {
+            self.slot_of.pop_front();
+            self.base += 1;
+        }
+        let q = self.slots[slot as usize].take();
+        self.free.push(slot);
+        q
+    }
+
+    /// Upper bound on slot indices ever handed out (the dense grant map is
+    /// sized to this).
+    fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live queries with their slots, in slot order. Callers needing a
+    /// deterministic order sort by an id-bearing key themselves.
+    fn iter_with_slots(&self) -> impl Iterator<Item = (u32, &LiveQuery)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|q| (i as u32, q)))
+    }
+}
+
 /// The simulator. Construct with [`Simulator::new`], execute with
 /// [`Simulator::run`].
 pub struct Simulator {
@@ -118,8 +230,16 @@ pub struct Simulator {
     disk_util_batch: Vec<Utilization>,
     cpu: CpuManager,
     policy: Box<dyn MemoryPolicy>,
-    live: BTreeMap<QueryId, LiveQuery>,
+    live: QueryTable,
     next_id: u64,
+    // Steady-state-allocation-free reallocation: the snapshot demand vec,
+    // the policy's sort scratch, the grant list, the dense grant map keyed
+    // by slab slot, and the diff list are all reused across calls.
+    snapshot: SystemSnapshot,
+    alloc_scratch: AllocScratch,
+    policy_grants: Grants,
+    grant_by_slot: Vec<u32>,
+    diffs: Vec<(QueryId, u32, u32)>,
     arrivals: Vec<Box<dyn ArrivalProcess>>,
     rng_arrival: Vec<Rng>,
     rng_pick: Vec<Rng>,
@@ -181,8 +301,17 @@ impl Simulator {
             disk_util_batch: vec![Utilization::new(start); n_disks],
             cpu: CpuManager::new(cfg.resources.cpu_mips, start),
             policy,
-            live: BTreeMap::new(),
+            live: QueryTable::new(),
             next_id: 0,
+            snapshot: SystemSnapshot {
+                now: start,
+                total_memory: cfg.resources.memory_pages,
+                queries: Vec::new(),
+            },
+            alloc_scratch: AllocScratch::default(),
+            policy_grants: Grants::new(),
+            grant_by_slot: Vec::new(),
+            diffs: Vec::new(),
             arrivals: cfg.classes.iter().map(|c| c.arrival.build()).collect(),
             rng_arrival: (0..n_classes)
                 .map(|i| seeds.substream("arrival", i as u64))
@@ -271,13 +400,19 @@ impl Simulator {
         if !active {
             return;
         }
-        let spec = self.cfg.classes[class].clone();
+        // Copy out the three small fields the arrival path needs; the spec
+        // itself (name string, arrival process) stays put — the seed engine
+        // cloned the whole `WorkloadClass` per arrival.
+        let spec = &self.cfg.classes[class];
+        let query_type = spec.query_type;
+        let slack_range = spec.slack_range;
+        let tenant = spec.tenant as u32;
         let exec_cfg = self.cfg.resources.exec;
         let (op, r_meta, s_meta): (
             Box<dyn Operator>,
             RelationMeta,
             Option<RelationMeta>,
-        ) = match spec.query_type {
+        ) = match query_type {
             QueryType::HashJoin { groups } => {
                 let a = self
                     .layout
@@ -304,8 +439,8 @@ impl Simulator {
                 )
             }
         };
-        let standalone = self.standalone_of(&spec.query_type, r_meta, s_meta);
-        let slack = self.rng_slack[class].uniform(spec.slack_range.0, spec.slack_range.1);
+        let standalone = self.standalone_of(&query_type, r_meta, s_meta);
+        let slack = self.rng_slack[class].uniform(slack_range.0, slack_range.1);
         let deadline = now + standalone.scale(slack);
         let id = QueryId(self.next_id);
         self.next_id += 1;
@@ -317,7 +452,7 @@ impl Simulator {
         let query = LiveQuery {
             id,
             class,
-            tenant: spec.tenant as u32,
+            tenant,
             op,
             arrival: now,
             deadline,
@@ -326,10 +461,12 @@ impl Simulator {
             waiting: Waiting::Nothing,
             temps: HashMap::new(),
             operand_ios: operand_ios.max(1),
+            deadline_handle: None,
         };
-        self.live.insert(id, query);
+        let slot = self.live.insert(query);
         if self.cfg.firm_deadlines {
-            self.cal.schedule(deadline, Event::Deadline { query: id });
+            let handle = self.cal.schedule(deadline, Event::Deadline { query: id });
+            self.live.slot_mut(slot).deadline_handle = Some(handle);
         }
         self.reallocate(now);
     }
@@ -382,6 +519,9 @@ impl Simulator {
     // ----- Buffer manager / policy glue ----------------------------------
 
     /// Recompute allocations through the policy and apply the differences.
+    /// Allocation-free in steady state: every buffer involved — the
+    /// snapshot's demand vec, the policy's sort scratch, the grant list,
+    /// the dense slot-keyed grant map, and the diff list — is reused.
     fn reallocate(&mut self, now: SimTime) {
         if self.reallocating {
             self.realloc_pending = true;
@@ -390,29 +530,39 @@ impl Simulator {
         self.reallocating = true;
         loop {
             self.realloc_pending = false;
-            let snapshot = SystemSnapshot {
-                now,
-                total_memory: self.cfg.resources.memory_pages,
-                queries: self.live.values().map(LiveQuery::demand).collect(),
-            };
-            let grants = self.policy.allocate(&snapshot);
-            let grant_of: HashMap<QueryId, u32> = grants.into_iter().collect();
+            self.snapshot.now = now;
+            self.snapshot.total_memory = self.cfg.resources.memory_pages;
+            self.snapshot.queries.clear();
+            for (_, q) in self.live.iter_with_slots() {
+                self.snapshot.queries.push(q.demand());
+            }
+            self.policy.allocate_into(
+                &self.snapshot,
+                &mut self.alloc_scratch,
+                &mut self.policy_grants,
+            );
+            // Dense grant map keyed by slab slot (absent = 0 pages).
+            self.grant_by_slot.clear();
+            self.grant_by_slot.resize(self.live.slot_capacity(), 0);
+            for &(id, pages) in &self.policy_grants {
+                let slot = self.live.slot_of(id).expect("granted query is live");
+                self.grant_by_slot[slot as usize] = pages;
+            }
             // Apply shrinking grants before growing ones so the growth is
-            // backed by freed pages.
-            let mut diffs: Vec<(QueryId, u32, u32)> = self
-                .live
-                .values()
-                .filter_map(|q| {
-                    let new = grant_of.get(&q.id).copied().unwrap_or(0);
-                    (new != q.granted).then_some((q.id, q.granted, new))
-                })
-                .collect();
-            diffs.sort_by_key(|&(_, old, new)| (new > old, new));
-            for (id, _, new) in diffs {
-                self.apply_grant(now, id, new);
-                if !self.live.contains_key(&id) {
-                    continue;
+            // backed by freed pages. The id tie-break reproduces the seed
+            // behavior exactly: a stable sort over id-ordered input.
+            self.diffs.clear();
+            for (slot, q) in self.live.iter_with_slots() {
+                let new = self.grant_by_slot[slot as usize];
+                if new != q.granted {
+                    self.diffs.push((q.id, q.granted, new));
                 }
+            }
+            self.diffs
+                .sort_unstable_by_key(|&(id, old, new)| (new > old, new, id));
+            for i in 0..self.diffs.len() {
+                let (id, _, new) = self.diffs[i];
+                self.apply_grant(now, id, new);
             }
             self.update_mpl(now);
             if !self.realloc_pending {
@@ -423,7 +573,7 @@ impl Simulator {
     }
 
     fn apply_grant(&mut self, now: SimTime, id: QueryId, new: u32) {
-        let Some(q) = self.live.get_mut(&id) else {
+        let Some(q) = self.live.get_mut(id) else {
             return;
         };
         q.op.set_allocation(new);
@@ -439,7 +589,11 @@ impl Simulator {
     }
 
     fn update_mpl(&mut self, now: SimTime) {
-        let holders = self.live.values().filter(|q| q.granted > 0).count() as f64;
+        let holders = self
+            .live
+            .iter_with_slots()
+            .filter(|(_, q)| q.granted > 0)
+            .count() as f64;
         self.mpl_run.set(now, holders);
         self.mpl_batch.set(now, holders);
     }
@@ -447,21 +601,25 @@ impl Simulator {
     // ----- Query manager --------------------------------------------------
 
     /// Advance a query's operator until it blocks on a resource, parks,
-    /// or finishes.
+    /// or finishes. The query stays in its slab slot throughout — the seed
+    /// implementation moved it out of (and back into) a `BTreeMap` on every
+    /// call, i.e. on every CPU and disk completion.
     fn drive(&mut self, now: SimTime, id: QueryId) {
-        let Some(mut q) = self.live.remove(&id) else {
+        let Some(slot) = self.live.slot_of(id) else {
             return;
         };
         for _ in 0..10_000_000u64 {
+            let q = self.live.slot_mut(slot);
             match q.op.step() {
                 Action::Cpu(instr) => {
                     q.waiting = Waiting::Cpu;
-                    self.cpu.submit(now, id, q.deadline, instr, &mut self.cal);
-                    self.live.insert(id, q);
+                    let deadline = q.deadline;
+                    self.cpu.submit(now, id, deadline, instr, &mut self.cal);
                     return;
                 }
                 Action::Io(req) => {
                     q.waiting = Waiting::Disk;
+                    let deadline = q.deadline;
                     let file = q.resolve(req.file);
                     let meta = self.layout.meta(file);
                     let cylinder = self.cfg.resources.geometry.cylinder_of(
@@ -478,17 +636,16 @@ impl Simulator {
                         cylinder,
                     };
                     let d = meta.disk.0 as usize;
-                    self.disks.disk_mut(d).enqueue(q.deadline, access);
-                    self.live.insert(id, q);
+                    self.disks.disk_mut(d).enqueue(deadline, access);
                     self.pump_disk(now, d);
                     return;
                 }
-                Action::CreateTemp { slot, pages } => {
+                Action::CreateTemp { slot: temp, pages } => {
                     let file = self.layout.create_temp(pages);
-                    q.temps.insert(slot, file);
+                    self.live.slot_mut(slot).temps.insert(temp, file);
                 }
-                Action::DropTemp { slot } => {
-                    if let Some(file) = q.temps.remove(&slot) {
+                Action::DropTemp { slot: temp } => {
+                    if let Some(file) = self.live.slot_mut(slot).temps.remove(&temp) {
                         let meta = self.layout.meta(file);
                         self.disks.disk_mut(meta.disk.0 as usize).invalidate(file);
                         self.layout.drop_temp(file);
@@ -496,10 +653,10 @@ impl Simulator {
                 }
                 Action::Parked => {
                     q.waiting = Waiting::Nothing;
-                    self.live.insert(id, q);
                     return;
                 }
                 Action::Finished => {
+                    let q = self.live.remove(id).expect("finished query is live");
                     self.complete(now, q);
                     return;
                 }
@@ -510,7 +667,7 @@ impl Simulator {
 
     fn on_cpu_done(&mut self, now: SimTime, query: QueryId) {
         self.cpu.on_done(now, query, &mut self.cal);
-        if let Some(q) = self.live.get_mut(&query) {
+        if let Some(q) = self.live.get_mut(query) {
             debug_assert_eq!(q.waiting, Waiting::Cpu);
             q.waiting = Waiting::Nothing;
             self.drive(now, query);
@@ -524,7 +681,7 @@ impl Simulator {
         let owner = self.disk_inflight[disk].take();
         self.pump_disk(now, disk);
         if let Some(id) = owner {
-            if let Some(q) = self.live.get_mut(&id) {
+            if let Some(q) = self.live.get_mut(id) {
                 q.waiting = Waiting::Nothing;
                 self.drive(now, id);
             }
@@ -549,7 +706,7 @@ impl Simulator {
     }
 
     fn on_deadline(&mut self, now: SimTime, query: QueryId) {
-        let Some(q) = self.live.remove(&query) else {
+        let Some(q) = self.live.remove(query) else {
             return; // completed before its deadline
         };
         // Firm abort: reclaim every resource the query holds.
@@ -569,6 +726,11 @@ impl Simulator {
     }
 
     fn complete(&mut self, now: SimTime, q: LiveQuery) {
+        // The deadline abort is moot now; drop it from the calendar instead
+        // of letting it fire as a dead event.
+        if let Some(handle) = q.deadline_handle {
+            self.cal.cancel(handle);
+        }
         // Operators drop their temps themselves; clean any leftovers.
         for (_, file) in q.temps.iter() {
             let meta = self.layout.meta(*file);
@@ -709,6 +871,7 @@ impl Simulator {
             trace: self.policy.trace().to_vec(),
             miss_ci_half_width: self.miss_series.half_width(1.645),
             sim_secs: now.as_secs_f64(),
+            events: self.cal.events_dispatched(),
         }
     }
 }

@@ -89,6 +89,11 @@ pub struct RunReport {
     pub miss_ci_half_width: Option<f64>,
     /// Total simulated seconds.
     pub sim_secs: f64,
+    /// Calendar events dispatched over the run. A perf counter, not a
+    /// behavior metric: optimizations may legitimately change it (e.g. by
+    /// cancelling dead deadline events instead of dispatching them), so it
+    /// is excluded from behavior goldens and from `BENCH_<figure>.json`.
+    pub events: u64,
 }
 
 impl RunReport {

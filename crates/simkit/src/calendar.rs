@@ -2,41 +2,55 @@
 //! FIFO tie-breaking and O(1) cancellation via generation handles.
 //!
 //! Events scheduled for the same instant pop in scheduling order, which keeps
-//! simulation runs reproducible. Cancellation is *lazy*: a cancelled entry
-//! stays in the heap but is skipped when popped. This is the standard
-//! technique for DES calendars, and it keeps `cancel` O(1).
+//! simulation runs reproducible. The implementation is an 8-ary min-heap of
+//! `(time, seq)` keys over a slab of payload slots:
+//!
+//! * **No hashing on the hot path.** The seed implementation tracked
+//!   cancellations in a `HashSet<u64>`, paying a SipHash probe on *every*
+//!   pop and peek. Here a handle is a `(slot, generation)` pair: cancellation
+//!   is one bounds check plus a generation compare — O(1) with no hash —
+//!   and stale handles (the event already fired) fail the generation check
+//!   instead of leaking tombstones.
+//! * **Cancellation stays lazy.** A cancelled entry keeps its place in the
+//!   heap and is discarded when it surfaces, the standard DES-calendar
+//!   technique. Unlike the seed, the live-event count is exact: `len()`
+//!   counts scheduled-minus-(fired+cancelled), and cancelling after the
+//!   event fired is a true no-op (the seed undercounted forever after).
+//! * **8-ary layout.** Sift-down visits a third of the levels of a binary heap
+//!   with better cache locality; keys are compact `(u64, u64, u32)` triples
+//!   stored inline, payloads stay put in the slab.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// A handle identifying one scheduled event, used for cancellation.
+/// A handle identifying one scheduled event, used for cancellation. Stale
+/// handles (fired or already-cancelled events) are harmless.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    gen: u32,
+}
 
-struct Entry<E> {
+/// Heap key: time-ordered, FIFO within a tie, pointing at its payload slot.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// One payload slot. `gen` advances every time the slot is vacated, so
+/// handles into previous occupancies can never alias the current one.
+struct Slot<E> {
+    gen: u32,
+    cancelled: bool,
+    payload: Option<E>,
 }
 
 /// The event calendar.
@@ -45,11 +59,13 @@ impl<E> Ord for Entry<E> {
 /// about event semantics; the simulation main loop pops events and dispatches
 /// them.
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: std::collections::HashSet<u64>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    live: usize,
 }
 
 impl<E> Default for Calendar<E> {
@@ -62,11 +78,13 @@ impl<E> Calendar<E> {
     /// An empty calendar with the clock at `t = 0`.
     pub fn new() -> Self {
         Calendar {
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            live: 0,
         }
     }
 
@@ -92,53 +110,150 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.payload.is_none(), "free slot must be vacant");
+                s.cancelled = false;
+                s.payload = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot count fits u32");
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                    payload: Some(payload),
+                });
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        EventHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that already
     /// fired (or was already cancelled) is a silent no-op, which lets callers
     /// keep stale handles without bookkeeping.
     pub fn cancel(&mut self, handle: EventHandle) {
-        self.cancelled.insert(handle.0);
+        if let Some(s) = self.slots.get_mut(handle.slot as usize) {
+            if s.gen == handle.gen && s.payload.is_some() && !s.cancelled {
+                s.cancelled = true;
+                self.live -= 1;
+            }
+        }
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     /// Returns `None` when the calendar is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        loop {
+            let entry = self.pop_root()?;
+            let (payload, was_cancelled) = self.vacate(entry.slot);
+            if was_cancelled {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "calendar order violated");
             self.now = entry.at;
             self.popped += 1;
-            return Some((entry.at, entry.payload));
+            self.live -= 1;
+            return Some((entry.at, payload));
         }
-        None
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.seq);
+        loop {
+            let root = *self.heap.first()?;
+            if self.slots[root.slot as usize].cancelled {
+                self.pop_root();
+                self.vacate(root.slot);
                 continue;
             }
-            return Some(entry.at);
+            return Some(root.at);
         }
-        None
     }
 
     /// Number of live (non-cancelled) events still scheduled.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Take the payload out of `slot` and return it to the free list,
+    /// advancing the generation so outstanding handles go stale. Returns
+    /// the payload and whether the entry had been cancelled.
+    fn vacate(&mut self, slot: u32) -> (E, bool) {
+        let s = &mut self.slots[slot as usize];
+        let payload = s.payload.take().expect("heap entry has a payload");
+        let was_cancelled = s.cancelled;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        (payload, was_cancelled)
+    }
+
+    // ----- 8-ary heap on (at, seq) ---------------------------------------
+
+    const ARITY: usize = 8;
+
+    /// Remove and return the root entry, restoring the heap property.
+    fn pop_root(&mut self) -> Option<HeapEntry> {
+        let root = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        Some(root)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let first_child = i * Self::ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let last_child = (first_child + Self::ARITY).min(n);
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].key();
+            for c in first_child + 1..last_child {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if best_key >= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = entry;
     }
 }
 
@@ -207,6 +322,45 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_keeps_len_exact() {
+        // Seed-implementation regression: a cancel() after the event fired
+        // left a stale tombstone that undercounted len() forever.
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime(1), ());
+        cal.pop();
+        cal.cancel(h);
+        cal.schedule(SimTime(2), ());
+        assert_eq!(cal.len(), 1, "one live event is queued");
+        assert!(!cal.is_empty());
+        cal.cancel(h); // still stale, still a no-op
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime(1), ());
+        cal.schedule(SimTime(2), ());
+        cal.cancel(h);
+        cal.cancel(h);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(t, ())| t), Some(SimTime(2)));
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuse() {
+        // The slot of a fired event is reused by a new event; the old handle
+        // must not be able to cancel the new occupant.
+        let mut cal = Calendar::new();
+        let h_old = cal.schedule(SimTime(1), "old");
+        cal.pop();
+        cal.schedule(SimTime(2), "new"); // reuses the vacated slot
+        cal.cancel(h_old);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("new"));
+    }
+
+    #[test]
     fn peek_respects_cancellation() {
         let mut cal = Calendar::new();
         let h = cal.schedule(SimTime(1), "x");
@@ -225,5 +379,34 @@ mod tests {
         assert_eq!(cal.pop().map(|(_, e)| e), Some(3));
         assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
         assert_eq!(cal.events_dispatched(), 3);
+    }
+
+    #[test]
+    fn heavy_interleaving_stays_sorted() {
+        // Deterministic pseudo-random schedule/pop mix; output must be
+        // non-decreasing in time and FIFO within ties.
+        let mut cal = Calendar::new();
+        let mut x = 0x9E37_79B9u64;
+        let mut popped: Vec<(SimTime, u64)> = Vec::new();
+        for seq in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(seq);
+            let dt = x % 50;
+            cal.schedule(cal.now() + Duration(dt), seq);
+            if x.is_multiple_of(3) {
+                if let Some((t, s)) = cal.pop() {
+                    popped.push((t, s));
+                }
+            }
+        }
+        while let Some((t, s)) = cal.pop() {
+            popped.push((t, s));
+        }
+        assert_eq!(popped.len(), 2_000);
+        for w in popped.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
     }
 }

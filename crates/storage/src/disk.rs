@@ -89,19 +89,18 @@ impl PrefetchCache {
     }
 
     /// True if every page of `[first, first+pages)` of `file` is cached.
-    /// Touches the lines (LRU update) on a full hit.
+    /// Touches the lines (LRU update) on a full hit. Runs on every read
+    /// service, so the block range is iterated directly — no per-lookup
+    /// key buffer.
     pub fn lookup(&mut self, file: FileId, first: u32, pages: u32) -> bool {
-        let blocks: Vec<CacheKey> = (first..first + pages.max(1))
-            .step_by(self.block_pages as usize)
-            .map(|p| self.key(file, p))
-            .chain(std::iter::once(
-                self.key(file, first + pages.saturating_sub(1)),
-            ))
-            .collect();
-        let all_present = blocks.iter().all(|k| self.lru.contains(k));
+        let first_block = first / self.block_pages;
+        let last_block = (first + pages.max(1) - 1) / self.block_pages;
+        let all_present = (first_block..=last_block)
+            .all(|block| self.lru.contains(&CacheKey { file, block }));
         if all_present {
             self.hits += 1;
-            for k in blocks {
+            for block in first_block..=last_block {
+                let k = CacheKey { file, block };
                 if let Some(pos) = self.lru.iter().position(|&x| x == k) {
                     let line = self.lru.remove(pos).expect("position valid");
                     self.lru.push_back(line);
@@ -272,7 +271,7 @@ impl Disk {
     /// requests are allowed to complete (a started disk access cannot be
     /// recalled).
     pub fn cancel_queued<F: Fn(&Access) -> bool>(&mut self, pred: F) -> usize {
-        self.queue.drain_where(|a| pred(a)).len()
+        self.queue.discard_where(|a| pred(a))
     }
 
     /// Invalidate cached lines of a deleted file.

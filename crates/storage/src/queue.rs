@@ -4,9 +4,30 @@
 //! Section 4.2: "Every disk manages its own queue by the ED policy; any disk
 //! requests that ED assigns the same priority to are serviced according to
 //! the elevator algorithm."
+//!
+//! The seed implementation nested `BTreeMap<SimTime, BTreeMap<u32, Vec<_>>>`
+//! — three allocation sites per push in the worst case, and an O(n)
+//! `Vec::remove(0)` per same-cylinder FIFO dequeue. Disk queues are short
+//! (bounded by the live-query population: each live query has at most one
+//! outstanding I/O), so this version is a flat parallel-array structure
+//! scanned on pop:
+//!
+//! * **push** appends to two `Vec`s — amortized O(1), zero allocations in
+//!   steady state once capacity is warm.
+//! * **pop** selects by `(deadline, elevator cylinder, seq)` in one scan
+//!   over the dense 24-byte key array (payloads are never touched) and
+//!   removes with `swap_remove` — O(n) scan with a cache-line-friendly
+//!   constant, O(1) removal. FIFO among equal `(deadline, cylinder)`
+//!   requests rides on the monotone `seq` stamp, so selection is
+//!   independent of element order and `swap_remove`'s shuffling is
+//!   invisible. (At engine-realistic depths the scan beats the seed's tree
+//!   walk plus node churn; a tree wins again only at depths the simulator
+//!   never reaches — the `disk_queue/push_pop_1k` stress bench records
+//!   that asymptote honestly.)
+//! * **drain** never allocates per bucket; [`DiskQueue::discard_where`]
+//!   (the abort path) allocates nothing at all.
 
 use simkit::SimTime;
-use std::collections::BTreeMap;
 
 /// A queued disk request. `T` is the caller's tag (the simulator uses it to
 /// route the completion back to the owning query).
@@ -20,12 +41,22 @@ pub struct QueuedRequest<T> {
     pub tag: T,
 }
 
-/// ED + elevator queue for one disk.
+/// Selection key of one stored request: everything `pop` scans, packed
+/// densely so the scan never strides over payloads.
+#[derive(Clone, Copy, Debug)]
+struct Key {
+    deadline: SimTime,
+    cylinder: u32,
+    seq: u64,
+}
+
+/// ED + elevator queue for one disk. `keys[i]` and `reqs[i]` describe the
+/// same request; both sides `swap_remove` together.
 #[derive(Debug)]
 pub struct DiskQueue<T> {
-    /// deadline → (cylinder → FIFO of requests at that cylinder).
-    levels: BTreeMap<SimTime, BTreeMap<u32, Vec<QueuedRequest<T>>>>,
-    len: usize,
+    keys: Vec<Key>,
+    reqs: Vec<QueuedRequest<T>>,
+    next_seq: u64,
     /// Elevator sweep direction: true = ascending cylinder numbers.
     ascending: bool,
 }
@@ -40,91 +71,122 @@ impl<T> DiskQueue<T> {
     /// An empty queue sweeping upward.
     pub fn new() -> Self {
         DiskQueue {
-            levels: BTreeMap::new(),
-            len: 0,
+            keys: Vec::new(),
+            reqs: Vec::new(),
+            next_seq: 0,
             ascending: true,
         }
     }
 
     /// Number of queued requests.
     pub fn len(&self) -> usize {
-        self.len
+        self.reqs.len()
     }
 
     /// True when no requests are waiting.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.reqs.is_empty()
     }
 
     /// Enqueue a request.
     pub fn push(&mut self, request: QueuedRequest<T>) {
-        self.levels
-            .entry(request.deadline)
-            .or_default()
-            .entry(request.cylinder)
-            .or_default()
-            .push(request);
-        self.len += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.keys.push(Key {
+            deadline: request.deadline,
+            cylinder: request.cylinder,
+            seq,
+        });
+        self.reqs.push(request);
     }
 
     /// Dequeue the next request to service given the current head position.
     ///
     /// The most urgent deadline level is selected first (ED); within that
     /// level the elevator picks the nearest cylinder in the current sweep
-    /// direction, reversing direction at the end of a sweep.
+    /// direction, reversing direction at the end of a sweep. One scan finds
+    /// the deadline level and both sweep candidates simultaneously.
     pub fn pop(&mut self, head: u32) -> Option<QueuedRequest<T>> {
-        let (&deadline, level) = self.levels.iter_mut().next()?;
-        // Elevator within the level: nearest cylinder ≥ head when ascending,
-        // ≤ head when descending; reverse if the sweep is exhausted.
-        let chosen_cyl = if self.ascending {
-            level.range(head..).next().map(|(&c, _)| c).or_else(|| {
-                self.ascending = false;
-                level.range(..=head).next_back().map(|(&c, _)| c)
-            })
+        if self.keys.is_empty() {
+            return None;
+        }
+        // Per sweep direction: (distance from head, seq, index) — minimized.
+        let mut up: Option<(u32, u64, usize)> = None;
+        let mut down: Option<(u32, u64, usize)> = None;
+        let mut deadline = SimTime::MAX;
+        for (i, key) in self.keys.iter().enumerate() {
+            if key.deadline > deadline {
+                continue;
+            }
+            if key.deadline < deadline {
+                // Strictly more urgent level: restart the selection.
+                deadline = key.deadline;
+                up = None;
+                down = None;
+            }
+            let cyl = key.cylinder;
+            if cyl >= head {
+                let cand = (cyl - head, key.seq, i);
+                if up.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    up = Some(cand);
+                }
+            }
+            if cyl <= head {
+                let cand = (head - cyl, key.seq, i);
+                if down.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    down = Some(cand);
+                }
+            }
+        }
+        let (first, second) = if self.ascending {
+            (up, down)
         } else {
-            level
-                .range(..=head)
-                .next_back()
-                .map(|(&c, _)| c)
-                .or_else(|| {
-                    self.ascending = true;
-                    level.range(head..).next().map(|(&c, _)| c)
-                })
+            (down, up)
         };
-        let cyl = chosen_cyl.expect("non-empty level has a cylinder");
-        let bucket = level.get_mut(&cyl).expect("bucket exists");
-        let request = bucket.remove(0);
-        if bucket.is_empty() {
-            level.remove(&cyl);
-        }
-        if level.is_empty() {
-            self.levels.remove(&deadline);
-        }
-        self.len -= 1;
-        Some(request)
+        let chosen = match first {
+            Some((_, _, i)) => i,
+            None => {
+                // Sweep exhausted within the level: reverse direction.
+                self.ascending = !self.ascending;
+                second
+                    .expect("non-empty level has a cylinder on one side")
+                    .2
+            }
+        };
+        self.keys.swap_remove(chosen);
+        Some(self.reqs.swap_remove(chosen))
     }
 
-    /// Remove every request whose tag fails `keep` (e.g. requests of an
+    /// Remove every request whose tag matches `remove` (e.g. requests of an
     /// aborted query). Returns the removed requests.
     pub fn drain_where<F: Fn(&T) -> bool>(&mut self, remove: F) -> Vec<QueuedRequest<T>> {
         let mut removed = Vec::new();
-        self.levels.retain(|_, level| {
-            level.retain(|_, bucket| {
-                let mut kept = Vec::with_capacity(bucket.len());
-                for req in bucket.drain(..) {
-                    if remove(&req.tag) {
-                        removed.push(req);
-                    } else {
-                        kept.push(req);
-                    }
-                }
-                *bucket = kept;
-                !bucket.is_empty()
-            });
-            !level.is_empty()
-        });
-        self.len -= removed.len();
+        let mut i = 0;
+        while i < self.reqs.len() {
+            if remove(&self.reqs[i].tag) {
+                self.keys.swap_remove(i);
+                removed.push(self.reqs.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
         removed
+    }
+
+    /// Like [`DiskQueue::drain_where`], but only counts the removals —
+    /// allocation-free, for the firm-abort path that never inspects them.
+    pub fn discard_where<F: Fn(&T) -> bool>(&mut self, remove: F) -> usize {
+        let before = self.reqs.len();
+        let mut i = 0;
+        while i < self.reqs.len() {
+            if remove(&self.reqs[i].tag) {
+                self.keys.swap_remove(i);
+                self.reqs.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        before - self.reqs.len()
     }
 }
 
@@ -160,12 +222,6 @@ mod tests {
         for (cyl, tag) in [(900, 1), (400, 2), (600, 3), (100, 4)] {
             q.push(req(50, cyl, tag));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| {
-            // In a real disk the head moves to each serviced cylinder; emulate.
-            None::<u32>
-        })
-        .collect();
-        drop(order);
         let mut head = 500;
         let mut tags = Vec::new();
         while let Some(r) = q.pop(head) {
@@ -201,6 +257,21 @@ mod tests {
     }
 
     #[test]
+    fn fifo_survives_interleaved_pushes_and_removals() {
+        // swap_remove shuffles storage order; the seq stamp must keep
+        // same-cylinder FIFO intact regardless.
+        let mut q = DiskQueue::new();
+        q.push(req(50, 42, 1));
+        q.push(req(10, 7, 99)); // more urgent, elsewhere
+        q.push(req(50, 42, 2));
+        assert_eq!(q.pop(42).unwrap().tag, 99);
+        q.push(req(50, 42, 3));
+        assert_eq!(q.pop(42).unwrap().tag, 1);
+        assert_eq!(q.pop(42).unwrap().tag, 2);
+        assert_eq!(q.pop(42).unwrap().tag, 3);
+    }
+
+    #[test]
     fn drain_removes_aborted_query() {
         let mut q = DiskQueue::new();
         q.push(req(10, 1, 7));
@@ -210,6 +281,18 @@ mod tests {
         assert_eq!(removed.len(), 2);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(0).unwrap().tag, 8);
+    }
+
+    #[test]
+    fn discard_counts_without_allocating() {
+        let mut q = DiskQueue::new();
+        q.push(req(10, 1, 7));
+        q.push(req(20, 2, 8));
+        q.push(req(30, 3, 7));
+        assert_eq!(q.discard_where(|&tag| tag == 7), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(0).unwrap().tag, 8);
+        assert_eq!(q.discard_where(|_| true), 0);
     }
 
     #[test]
