@@ -17,13 +17,19 @@
 //! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
 //! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
 //! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
-//! smoke configuration).
+//! smoke configuration), `--record-arrivals` (write replication 0's
+//! inter-arrival gaps per cell and class as `TRACE_<figure>_cell<i>_
+//! class<j>.txt`, replayable via `workload::Trace::from_file` /
+//! `ArrivalSpec::Trace`).
 //!
 //! Beyond the paper: `--figure burst` sweeps MMPP burst ratios at the
-//! baseline's mean rate, and `--figure tenants` sweeps multi-tenant quota
-//! splits under shared vs. hard-partitioned vs. soft-partitioned memory.
-//! `fig12` cells carry the merged per-window miss-ratio series (with 90%
-//! CIs across seeds) in their `windows` array.
+//! baseline's mean rate under the static policies, v1 PMM, and the
+//! regime-aware `PMM-regime`; `--figure tenants` sweeps multi-tenant quota
+//! splits under shared vs. hard- vs. soft-partitioned memory and the
+//! per-tenant-adaptive `PMM-tenant`, with per-tenant quota-utilization /
+//! borrow-volume aggregates in each cell's `tenants` array. `fig12` cells
+//! carry the merged per-window miss-ratio series (with 90% CIs across
+//! seeds) in their `windows` array.
 //!
 //! **Report mode** (positional artifact name): the original single-seed
 //! text reports in the paper's layout.
@@ -97,7 +103,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
                 _ => return Err("--figure requires a value".into()),
             }
             i += 2;
-        } else if a == "--smoke" {
+        } else if a == "--smoke" || a == "--record-arrivals" {
             i += 1;
         } else if VALUE_FLAGS.contains(&a.as_str()) {
             if args.get(i + 1).is_none() {
@@ -132,6 +138,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
             parse_flag(args, "--secs", 3_600.0)?
         },
         master_seed: parse_flag(args, "--master-seed", 1994)?,
+        record_arrivals: args.iter().any(|a| a == "--record-arrivals"),
     };
     if cfg.seeds == 0 {
         return Err("--seeds must be at least 1".into());
@@ -162,6 +169,30 @@ fn run_driver(args: &[String]) -> Result<(), String> {
             cfg.threads,
             result.perf.events_per_sec(),
         );
+        // Recorded arrival traces: one whitespace/comment text file per
+        // cell and class, in the exact format `Trace::from_file` parses.
+        for t in &result.traces {
+            let trace_path = out_dir.join(format!(
+                "TRACE_{figure}_cell{}_class{}.txt",
+                t.cell, t.class
+            ));
+            let mut body = format!(
+                "# {figure} cell {} (x={:?}, policy={}) class {} — replication 0 \
+                 inter-arrival gaps (s)\n",
+                t.cell, t.x, t.policy, t.class
+            );
+            for g in &t.gaps {
+                body.push_str(&format!("{g:?}\n"));
+            }
+            std::fs::write(&trace_path, body)
+                .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        }
+        if !result.traces.is_empty() {
+            println!(
+                "wrote {} arrival trace file(s) (replayable via ArrivalSpec::Trace)",
+                result.traces.len()
+            );
+        }
         perf.push((figure.clone(), result.perf));
     }
     // The perf trajectory is a separate artifact: BENCH_<figure>.json stays

@@ -6,7 +6,7 @@
 //! cell, merged into means with confidence intervals. This module shards the
 //! figure experiments across a thread pool, one deterministic
 //! `SeedSequence`-derived RNG stream per replication, and merges the per-seed
-//! [`RunReport`]s into [`simkit::metrics::BatchMeans`] summaries — scalar
+//! [`RunReport`]s into [`pmm_core::simkit::metrics::BatchMeans`] summaries — scalar
 //! metrics and the windowed miss-ratio time series alike (Figures 12–14 plot
 //! the latter).
 //!
@@ -56,7 +56,7 @@ pub fn t_quantile_90(df: usize) -> f64 {
 pub struct CellSpec {
     /// The swept parameter (arrival rate, MinMax N, Small-class rate, ...).
     pub x: f64,
-    /// Policy short name, as accepted by [`make_policy`].
+    /// Policy short name, as accepted by [`crate::make_policy`].
     pub policy: String,
 }
 
@@ -130,7 +130,7 @@ pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
         "burst" => FigureSpec {
             name: "burst",
             x_label: "MMPP burst ratio (1 = Poisson control)",
-            cells: cross(&crate::BURST_RATIOS, &["Max", "MinMax", "PMM"]),
+            cells: cross(&crate::BURST_RATIOS, &crate::BURST_POLICIES),
         },
         "tenants" => FigureSpec {
             name: "tenants",
@@ -178,6 +178,10 @@ pub struct DriverConfig {
     pub secs: f64,
     /// Master seed the per-replication streams derive from.
     pub master_seed: u64,
+    /// Record replication 0's inter-arrival gaps per cell into
+    /// [`FigureResult::traces`], replayable via `workload::Trace`
+    /// (`--record-arrivals`). Metric-only: the merged JSON is unaffected.
+    pub record_arrivals: bool,
 }
 
 impl Default for DriverConfig {
@@ -187,6 +191,7 @@ impl Default for DriverConfig {
             threads: 1,
             secs: 3_600.0,
             master_seed: 1994,
+            record_arrivals: false,
         }
     }
 }
@@ -230,6 +235,73 @@ pub struct MergedWindow {
     pub miss_pct: MetricSummary,
 }
 
+/// One tenant's merged statistics over the replications of a cell: the
+/// quantitative isolation story of the `tenants` figure (quota utilization
+/// and borrow volume per partition, with CIs across seeds).
+#[derive(Clone, Debug)]
+pub struct MergedTenant {
+    /// Tenant label from the scenario's `TenantSpec`.
+    pub name: String,
+    /// Declared quota in pages.
+    pub quota_pages: u32,
+    /// Whether the quota is soft (borrowing allowed).
+    pub soft: bool,
+    /// Queries billed to this tenant across replications.
+    pub served: u64,
+    /// Of those, deadline misses.
+    pub missed: u64,
+    /// Tenant miss ratio (%), mean ± CI over replications.
+    pub miss_pct: MetricSummary,
+    /// Time-averaged tenant MPL.
+    pub avg_mpl: MetricSummary,
+    /// Time-averaged fraction of the quota in use (> 1 while borrowing).
+    pub quota_utilization: MetricSummary,
+    /// Time-averaged pages held beyond the quota (borrow volume).
+    pub borrowed_pages: MetricSummary,
+}
+
+/// Merge the per-replication tenant outcomes index-by-index (every
+/// replication of a cell runs the same tenant table).
+fn merge_tenants(reports: &[RunReport]) -> Vec<MergedTenant> {
+    let n = reports.first().map_or(0, |r| r.tenants.len());
+    (0..n)
+        .map(|j| {
+            let first = &reports[0].tenants[j];
+            let of = |f: &dyn Fn(&pmm_core::rtdbs::TenantOutcome) -> f64| {
+                summarize(reports, |r| f(&r.tenants[j]))
+            };
+            MergedTenant {
+                name: first.name.clone(),
+                quota_pages: first.quota_pages,
+                soft: first.soft,
+                served: reports.iter().map(|r| r.tenants[j].served).sum(),
+                missed: reports.iter().map(|r| r.tenants[j].missed).sum(),
+                miss_pct: of(&|t| t.miss_pct()),
+                avg_mpl: of(&|t| t.avg_mpl),
+                quota_utilization: of(&|t| t.quota_utilization),
+                borrowed_pages: of(&|t| t.borrowed_pages),
+            }
+        })
+        .collect()
+}
+
+/// One recorded arrival trace: replication 0's inter-arrival gaps for one
+/// class of one cell, replayable through `workload::Trace` /
+/// `ArrivalSpec::Trace { gaps, repeat: false }`.
+#[derive(Clone, Debug)]
+pub struct RecordedTrace {
+    /// Cell index in the figure's canonical order.
+    pub cell: usize,
+    /// The cell's swept parameter.
+    pub x: f64,
+    /// The cell's policy.
+    pub policy: String,
+    /// Workload class index within the cell's config.
+    pub class: usize,
+    /// Inter-arrival gaps in seconds, in arrival order.
+    pub gaps: Vec<f64>,
+}
+
 /// One cell's merged statistics over all replications.
 #[derive(Clone, Debug)]
 pub struct MergedCell {
@@ -261,6 +333,8 @@ pub struct MergedCell {
     pub avg_fluctuations: MetricSummary,
     /// Merged windowed miss-ratio time series.
     pub windows: Vec<MergedWindow>,
+    /// Merged per-tenant aggregates (empty for single-tenant figures).
+    pub tenants: Vec<MergedTenant>,
 }
 
 /// Merge the per-replication window series index-by-index. Replication
@@ -365,6 +439,10 @@ pub struct FigureResult {
     pub cells: Vec<MergedCell>,
     /// Wall-clock perf readings (kept out of the deterministic JSON).
     pub perf: FigurePerf,
+    /// Replication 0's recorded arrival traces per cell and class (empty
+    /// unless [`DriverConfig::record_arrivals`] is set; kept out of the
+    /// merged JSON — the binary writes them as separate `TRACE_*` files).
+    pub traces: Vec<RecordedTrace>,
 }
 
 /// Derive the RNG seed for replication `rep` — stable for a given master
@@ -405,6 +483,9 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         let mut sim = cell_config(spec.name, cell.x);
         sim.duration_secs = cfg.secs;
         sim.seed = seeds[s];
+        // Traces are per cell, not per replication: replication 0 is the
+        // canonical recording (its seed derivation is stable).
+        sim.record_arrivals = cfg.record_arrivals && s == 0;
         let policy = make_policy_for(&sim, &cell.policy);
         let started = std::time::Instant::now();
         let report = run_simulation(sim, policy);
@@ -434,6 +515,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
     }
 
     let mut perf = FigurePerf::default();
+    let mut traces: Vec<RecordedTrace> = Vec::new();
     let cells = spec
         .cells
         .iter()
@@ -449,6 +531,17 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                     report.clone()
                 })
                 .collect();
+            if cfg.record_arrivals {
+                for (class, gaps) in reports[0].arrival_gaps.iter().enumerate() {
+                    traces.push(RecordedTrace {
+                        cell: c,
+                        x: cell.x,
+                        policy: cell.policy.clone(),
+                        class,
+                        gaps: gaps.clone(),
+                    });
+                }
+            }
             perf.cells.push(CellPerf {
                 x: cell.x,
                 policy: cell.policy.clone(),
@@ -470,6 +563,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                 response: summarize(&reports, |r| r.timings.response),
                 avg_fluctuations: summarize(&reports, |r| r.avg_fluctuations),
                 windows: merge_windows(&reports),
+                tenants: merge_tenants(&reports),
             }
         })
         .collect();
@@ -480,6 +574,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         config: cfg,
         cells,
         perf,
+        traces,
     })
 }
 
@@ -603,6 +698,30 @@ impl FigureResult {
                 out.push('}');
             }
             out.push(']');
+            // Per-tenant aggregates: emitted only for multi-tenant cells,
+            // so single-tenant figures keep their pre-v2 JSON shape.
+            if !cell.tenants.is_empty() {
+                out.push_str(",\"tenants\":[");
+                for (j, t) in cell.tenants.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"quota_pages\":{},\"soft\":{},\
+                         \"served\":{},\"missed\":{},",
+                        t.name, t.quota_pages, t.soft, t.served, t.missed
+                    ));
+                    push_summary(&mut out, "miss_pct", t.miss_pct);
+                    out.push(',');
+                    push_summary(&mut out, "avg_mpl", t.avg_mpl);
+                    out.push(',');
+                    push_summary(&mut out, "quota_utilization", t.quota_utilization);
+                    out.push(',');
+                    push_summary(&mut out, "borrowed_pages", t.borrowed_pages);
+                    out.push('}');
+                }
+                out.push(']');
+            }
             out.push('}');
             if i + 1 < self.cells.len() {
                 out.push(',');
@@ -730,6 +849,7 @@ mod tests {
             threads: 2,
             secs: 600.0,
             master_seed: 9,
+            ..DriverConfig::default()
         };
         let r = run_figure("fig12", cfg).expect("fig12 runs");
         assert!(
@@ -750,6 +870,7 @@ mod tests {
             threads: 1,
             secs: 150.0,
             master_seed: 7,
+            ..DriverConfig::default()
         };
         let r = run_figure("fig11", cfg).expect("fig11 runs");
         let json = r.to_json();

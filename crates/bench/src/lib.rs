@@ -11,6 +11,7 @@
 //! hours, the paper's setting) reproduces the published measurement
 //! protocol; the CI-friendly default in the binary is one simulated hour.
 
+use pmm_core::pmm::TenantPmm;
 use pmm_core::prelude::*;
 
 pub mod driver;
@@ -38,18 +39,20 @@ pub fn make_policy(name: &str) -> Box<dyn MemoryPolicy> {
         "MinMax" => Box::new(pmm_core::pmm::MinMaxPolicy::unlimited()),
         "Proportional" => Box::new(ProportionalPolicy::unlimited()),
         "PMM" => Box::new(Pmm::with_defaults()),
+        "PMM-regime" => Box::new(Pmm::regime_aware()),
         other => panic!("unknown policy {other}"),
     }
 }
 
 /// Construct a policy by short name, resolving the tenant-aware names
 /// against `cfg.tenants`: `"Partitioned"` enforces the config's quotas as
-/// declared (hard unless the spec says otherwise) and `"Partitioned-soft"`
-/// lets every partition borrow idle pages. All other names defer to
-/// [`make_policy`].
+/// declared (hard unless the spec says otherwise), `"Partitioned-soft"`
+/// lets every partition borrow idle pages, and `"PMM-tenant"` /
+/// `"PMM-tenant-regime"` run one (optionally regime-aware) PMM controller
+/// per partition (PMM v2). All other names defer to [`make_policy`].
 ///
 /// # Panics
-/// Panics on an unknown name, or a `Partitioned*` name against a config
+/// Panics on an unknown name, or a tenant-aware name against a config
 /// with no tenants.
 pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
     let partitions = || -> Vec<PartitionSpec> {
@@ -68,6 +71,8 @@ pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
     match name {
         "Partitioned" => Box::new(PartitionedPolicy::new(partitions())),
         "Partitioned-soft" => Box::new(PartitionedPolicy::new(partitions()).soften()),
+        "PMM-tenant" => Box::new(TenantPmm::new(partitions())),
+        "PMM-tenant-regime" => Box::new(TenantPmm::new(partitions()).regime_aware()),
         other => make_policy(other),
     }
 }
@@ -117,11 +122,17 @@ pub const CHANGES_WINDOW_SECS: f64 = 2_400.0;
 /// MMPP burst ratios of the bursty-arrivals sweep (1 = the Poisson
 /// control cell).
 pub const BURST_RATIOS: [f64; 4] = [1.0, 4.0, 8.0, 16.0];
+/// The policies of the bursty-arrivals experiment: the static baselines,
+/// v1 PMM (stationary projection), and the regime-aware v2 variant that
+/// segments its learned batches at detected MMPP state switches.
+pub const BURST_POLICIES: [&str; 4] = ["Max", "MinMax", "PMM", "PMM-regime"];
 /// Analytics-tenant memory fractions of the multi-tenant sweep.
 pub const TENANT_FRACTIONS: [f64; 3] = [0.25, 0.5, 0.75];
 /// The policies of the multi-tenant experiment: a shared pool as the
-/// no-isolation control, hard quotas, and soft quotas with borrow-back.
-pub const TENANT_POLICIES: [&str; 3] = ["MinMax", "Partitioned", "Partitioned-soft"];
+/// no-isolation control, hard quotas, soft quotas with borrow-back, and
+/// the adaptive per-tenant PMM controllers of v2.
+pub const TENANT_POLICIES: [&str; 4] =
+    ["MinMax", "Partitioned", "Partitioned-soft", "PMM-tenant"];
 
 /// Figures 3, 4, 5 and Table 7 share one set of runs: the Section 5.1
 /// baseline sweep (memory is the bottleneck; 10 disks).

@@ -13,6 +13,7 @@ fn parallel_json_matches_serial() {
         threads: 1,
         secs: 200.0,
         master_seed: 1994,
+        ..DriverConfig::default()
     };
     let serial = run_figure("fig3", base).expect("serial run");
     let parallel =
@@ -33,6 +34,7 @@ fn oversubscribed_threads_match_serial() {
         threads: 1,
         secs: 150.0,
         master_seed: 42,
+        ..DriverConfig::default()
     };
     let serial = run_figure("fig11", base).expect("serial run");
     let flooded = run_figure(
@@ -47,7 +49,10 @@ fn oversubscribed_threads_match_serial() {
 }
 
 /// The wider-workload figures (MMPP bursts, multi-tenant partitions) obey
-/// the same contract: merged JSON is byte-identical across thread counts.
+/// the same contract: merged JSON — including the per-tenant
+/// quota-utilization/borrow-volume aggregates and the adaptive policy
+/// columns (`PMM-regime`, `PMM-tenant`) — is byte-identical across thread
+/// counts.
 #[test]
 fn burst_and_tenants_json_match_serial() {
     for figure in ["burst", "tenants"] {
@@ -56,6 +61,7 @@ fn burst_and_tenants_json_match_serial() {
             threads: 1,
             secs: 200.0,
             master_seed: 1994,
+            ..DriverConfig::default()
         };
         let serial = run_figure(figure, base).expect("serial run");
         let parallel = run_figure(figure, DriverConfig { threads: 4, ..base })
@@ -65,6 +71,114 @@ fn burst_and_tenants_json_match_serial() {
             parallel.to_json(),
             "{figure}: 4-thread JSON must match the serial run"
         );
+    }
+}
+
+/// The `tenants` figure's cells carry per-tenant aggregates and the
+/// per-tenant-adaptive PMM column; the `burst` figure carries the
+/// regime-aware PMM column plus its windowed miss-ratio series.
+#[test]
+fn tenant_and_regime_cells_are_emitted() {
+    let cfg = DriverConfig {
+        seeds: 2,
+        threads: 2,
+        secs: 200.0,
+        master_seed: 1994,
+        ..DriverConfig::default()
+    };
+    let tenants = run_figure("tenants", cfg).expect("tenants runs");
+    assert!(
+        tenants.cells.iter().any(|c| c.policy == "PMM-tenant"),
+        "adaptive per-tenant PMM column present"
+    );
+    assert!(
+        tenants.cells.iter().all(|c| c.tenants.len() == 2),
+        "every tenants cell merges both partitions"
+    );
+    let json = tenants.to_json();
+    assert!(json.contains("\"policy\":\"PMM-tenant\""), "{json}");
+    assert!(
+        json.contains("\"tenants\":[{\"name\":\"analytics\""),
+        "per-tenant aggregates serialized: {json}"
+    );
+    assert!(json.contains("\"quota_utilization\""));
+    assert!(json.contains("\"borrowed_pages\""));
+
+    let burst = run_figure("burst", cfg).expect("burst runs");
+    assert!(
+        burst.cells.iter().any(|c| c.policy == "PMM-regime"),
+        "regime-aware PMM column present"
+    );
+    // At 200 sim-secs a high-ratio MMPP cell can sit in its slow state the
+    // whole run and serve nothing; the Poisson control cells (x = 1) must
+    // still carry their windowed miss-ratio series.
+    assert!(
+        burst
+            .cells
+            .iter()
+            .filter(|c| c.x == 1.0)
+            .all(|c| !c.windows.is_empty()),
+        "control cells carry the windowed miss-ratio series"
+    );
+    assert!(
+        burst.cells.iter().all(|c| c.tenants.is_empty()),
+        "burst is single-tenant: no tenants array"
+    );
+    let burst_json = burst.to_json();
+    assert!(burst_json.contains("\"policy\":\"PMM-regime\""));
+    assert!(!burst_json.contains("\"tenants\":["));
+}
+
+/// `--record-arrivals`: replication 0's gaps are captured per cell and
+/// class, replay exactly through `workload::Trace`, and do not perturb the
+/// merged JSON.
+#[test]
+fn recorded_arrival_traces_replay_and_leave_json_untouched() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 300.0,
+        master_seed: 7,
+        ..DriverConfig::default()
+    };
+    let plain = run_figure("fig11", base).expect("plain run");
+    assert!(plain.traces.is_empty(), "recording is off by default");
+    let recorded = run_figure(
+        "fig11",
+        DriverConfig {
+            record_arrivals: true,
+            ..base
+        },
+    )
+    .expect("recording run");
+    assert_eq!(
+        plain.to_json(),
+        recorded.to_json(),
+        "recording must not perturb the merged JSON"
+    );
+    assert_eq!(
+        recorded.traces.len(),
+        recorded.cells.len(),
+        "one single-class trace per cell"
+    );
+    for t in &recorded.traces {
+        assert_eq!(t.class, 0);
+        assert!(!t.gaps.is_empty(), "cell {} recorded no gaps", t.cell);
+        // The recorded gaps replay through the Trace process exactly.
+        let mut trace = pmm_core::workload::Trace::from_gaps(t.gaps.clone(), false);
+        let mut rng = pmm_core::simkit::Rng::new(1);
+        use pmm_core::workload::ArrivalProcess;
+        for (i, &g) in t.gaps.iter().enumerate() {
+            let replayed = trace
+                .next_interarrival(&mut rng)
+                .unwrap_or_else(|| panic!("gap {i} missing"));
+            assert_eq!(
+                replayed,
+                pmm_core::simkit::Duration::from_secs_f64(g),
+                "gap {i} must replay bit-for-bit"
+            );
+        }
+        assert!(trace.next_interarrival(&mut rng).is_none());
     }
 }
 
@@ -79,6 +193,7 @@ fn master_seed_changes_results() {
             threads: 2,
             secs: 150.0,
             master_seed: 1,
+            ..DriverConfig::default()
         },
     )
     .expect("seed 1");
@@ -89,6 +204,7 @@ fn master_seed_changes_results() {
             threads: 2,
             secs: 150.0,
             master_seed: 2,
+            ..DriverConfig::default()
         },
     )
     .expect("seed 2");

@@ -30,7 +30,7 @@ pub mod prelude {
     pub use exec::{ExecConfig, ExternalSort, HashJoin, Operator};
     pub use pmm::{
         MaxPolicy, MemoryPolicy, MinMaxPolicy, PartitionSpec, PartitionedPolicy, Pmm,
-        PmmParams, ProportionalPolicy, StrategyMode,
+        PmmParams, ProportionalPolicy, StrategyMode, TenantPmm,
     };
     pub use rtdbs::{
         run_simulation, PhaseSchedule, QueryType, ResourceConfig, RunReport, SimConfig,

@@ -287,6 +287,128 @@ pub fn partitioned_allocate_into(
         minmax_allocate_into(queries, total, limit, &mut scratch.alloc, out);
         return;
     }
+    partitioned_allocate_core(
+        queries,
+        partitions,
+        total,
+        |_| PartitionStrategy::MinMax(limit),
+        scratch,
+        out,
+    );
+}
+
+/// Which memory-division function one partition's budget is divided by —
+/// the per-tenant arbitration knob of the adaptive multi-tenant policy
+/// (`TenantPmm`): each tenant's PMM controller picks its partition's
+/// strategy independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Max within the partition: each query its maximum — *capped at the
+    /// partition budget* — or nothing. The cap matters: pages beyond the
+    /// quota do not exist for the tenant, so a query whose one-pass
+    /// maximum exceeds the whole partition would otherwise never be
+    /// admitted, never complete, and starve the tenant's feedback loop
+    /// (the paper's operators degrade gracefully below their maximum,
+    /// which is what makes the cap sound).
+    Max,
+    /// MinMax-N within the partition (`None` = MinMax-∞).
+    MinMax(Option<u32>),
+}
+
+impl PartitionStrategy {
+    /// Divide `budget` among `queries` by this strategy.
+    fn divide(
+        self,
+        queries: &[QueryDemand],
+        budget: u32,
+        alloc: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        match self {
+            PartitionStrategy::Max => {
+                max_allocate_clamped_into(queries, budget, alloc, out);
+            }
+            PartitionStrategy::MinMax(limit) => {
+                minmax_allocate_into(queries, budget, limit, alloc, out);
+            }
+        }
+    }
+}
+
+/// [`max_allocate_into`] with each query's demand capped at `total` (the
+/// partition budget): in ED order, a query receives
+/// `min(max_mem, total)` pages or the admission stops. Equal to the plain
+/// Max division whenever every `max_mem ≤ total`; used by
+/// [`PartitionStrategy::Max`], where the cap is the difference between a
+/// small tenant making progress and starving (see the variant docs).
+pub fn max_allocate_clamped_into(
+    queries: &[QueryDemand],
+    total: u32,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) {
+    scratch.ed_order(queries);
+    out.clear();
+    let mut free = total;
+    for q in &scratch.sorted {
+        let want = q.max_mem.min(total).max(q.min_mem);
+        if want <= free {
+            free -= want;
+            out.push((q.id, want));
+        } else {
+            break; // strict ED: nobody overtakes a blocked urgent query
+        }
+    }
+}
+
+/// [`partitioned_allocate_into`] generalized to a *per-partition* strategy:
+/// partition `i` divides its budget by `strategies[i]` in both the quota
+/// pass and the borrow-back pass. Identical structure otherwise — quotas
+/// first (capped against oversubscription), then idle pages to soft
+/// partitions in declaration order.
+///
+/// With no partitions declared this degenerates to plain MinMax-∞ over the
+/// whole pool, like its fixed-strategy sibling.
+///
+/// # Panics
+/// Panics when `strategies.len() != partitions.len()` (a wiring bug).
+pub fn partitioned_allocate_with_into(
+    queries: &[QueryDemand],
+    partitions: &[PartitionSpec],
+    strategies: &[PartitionStrategy],
+    total: u32,
+    scratch: &mut PartitionScratch,
+    out: &mut Grants,
+) {
+    assert_eq!(
+        strategies.len(),
+        partitions.len(),
+        "one strategy per partition"
+    );
+    if partitions.is_empty() {
+        minmax_allocate_into(queries, total, None, &mut scratch.alloc, out);
+        return;
+    }
+    partitioned_allocate_core(
+        queries,
+        partitions,
+        total,
+        |i| strategies[i],
+        scratch,
+        out,
+    );
+}
+
+/// Shared two-pass machinery behind both partitioned entry points; callers
+/// have already handled the empty-partition degenerate case.
+fn partitioned_allocate_core(
+    queries: &[QueryDemand],
+    partitions: &[PartitionSpec],
+    total: u32,
+    strategy_of: impl Fn(usize) -> PartitionStrategy,
+    scratch: &mut PartitionScratch,
+    out: &mut Grants,
+) {
     let n = partitions.len();
     scratch.groups.resize_with(n, Vec::new);
     scratch.part_grants.resize_with(n, Grants::new);
@@ -302,10 +424,9 @@ pub fn partitioned_allocate_into(
     for (i, spec) in partitions.iter().enumerate() {
         let budget = spec.quota.min(unreserved);
         unreserved -= budget;
-        minmax_allocate_into(
+        strategy_of(i).divide(
             &scratch.groups[i],
             budget,
-            limit,
             &mut scratch.alloc,
             &mut scratch.part_grants[i],
         );
@@ -319,16 +440,16 @@ pub fn partitioned_allocate_into(
         }
         let own = granted_total(&scratch.part_grants[i]);
         let budget = (own + pool).min(u32::MAX as u64) as u32;
-        minmax_allocate_into(
+        strategy_of(i).divide(
             &scratch.groups[i],
             budget,
-            limit,
             &mut scratch.alloc,
             &mut scratch.regrant,
         );
         let regrant_used = granted_total(&scratch.regrant);
-        // More memory can only admit more / grant more under MinMax, but
-        // guard the invariant anyway: never shrink below the quota pass.
+        // More memory can only admit more / grant more under Max and
+        // MinMax alike, but guard the invariant anyway: never shrink below
+        // the quota pass.
         if regrant_used >= own {
             pool -= regrant_used - own;
             std::mem::swap(&mut scratch.part_grants[i], &mut scratch.regrant);
@@ -724,6 +845,142 @@ mod tests {
             );
             assert_eq!(out, partitioned_allocate(&queries, &parts, total, limit));
         }
+    }
+
+    #[test]
+    fn with_strategies_all_minmax_matches_fixed_path() {
+        let parts = [
+            PartitionSpec {
+                quota: 1000,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1560,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..12)
+            .map(|i| qt(i, 100 + i, 37, 900, (i % 2) as u32))
+            .collect();
+        let mut scratch = PartitionScratch::default();
+        let mut out = Grants::new();
+        for limit in [None, Some(3)] {
+            partitioned_allocate_with_into(
+                &queries,
+                &parts,
+                &[
+                    PartitionStrategy::MinMax(limit),
+                    PartitionStrategy::MinMax(limit),
+                ],
+                2560,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out, partitioned_allocate(&queries, &parts, 2560, limit));
+        }
+    }
+
+    #[test]
+    fn clamped_max_caps_demands_at_the_budget() {
+        let mut scratch = AllocScratch::default();
+        let mut out = Grants::new();
+        // Equal to plain Max when every demand fits the budget.
+        let queries = [q(1, 300, 37, 1321), q(2, 100, 37, 1321), q(3, 200, 37, 500)];
+        max_allocate_clamped_into(&queries, 2560, &mut scratch, &mut out);
+        assert_eq!(out, max_allocate(&queries, 2560));
+        // A 640-page partition cannot grant a 1321-page maximum, but the
+        // clamped division still admits the most urgent query at the
+        // partition-wide cap instead of starving the tenant.
+        let queries = [q(1, 300, 37, 1321), q(2, 100, 37, 1321)];
+        max_allocate_clamped_into(&queries, 640, &mut scratch, &mut out);
+        assert_eq!(out, vec![(QueryId(2), 640)]);
+        // A minimum that exceeds the budget still blocks (unservable).
+        let queries = [q(1, 100, 700, 1321)];
+        max_allocate_clamped_into(&queries, 640, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_partition_strategies_mix_max_and_minmax() {
+        // Tenant 0 runs Max (one query at its maximum or nothing), tenant 1
+        // runs MinMax (many minimums) — each within its own quota.
+        let parts = [
+            PartitionSpec {
+                quota: 1400,
+                soft: false,
+            },
+            PartitionSpec {
+                quota: 1160,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..10)
+            .map(|i| qt(i, 100 + i, 37, 1321, (i % 2) as u32))
+            .collect();
+        let mut scratch = PartitionScratch::default();
+        let mut out = Grants::new();
+        partitioned_allocate_with_into(
+            &queries,
+            &parts,
+            &[PartitionStrategy::Max, PartitionStrategy::MinMax(None)],
+            2560,
+            &mut scratch,
+            &mut out,
+        );
+        let t0: Vec<_> = out.iter().filter(|(id, _)| id.0 % 2 == 0).collect();
+        let t1: Vec<_> = out.iter().filter(|(id, _)| id.0 % 2 == 1).collect();
+        assert_eq!(t0.len(), 1, "Max admits a single 1321-page query in 1400");
+        assert_eq!(t0[0].1, 1321);
+        assert!(t1.len() > 1, "MinMax admits many minimums in 1160");
+        assert!(granted_total(&out) <= 2560);
+    }
+
+    #[test]
+    fn with_strategies_borrow_back_respects_the_borrower_strategy() {
+        // Tenant 0 (soft, Max strategy) is alone: it borrows tenant 1's
+        // idle quota, but still allocates whole maximums only.
+        let parts = [
+            PartitionSpec {
+                quota: 1000,
+                soft: true,
+            },
+            PartitionSpec {
+                quota: 1560,
+                soft: false,
+            },
+        ];
+        let queries: Vec<_> = (0..4).map(|i| qt(i, 100 + i, 37, 1200, 0)).collect();
+        let mut scratch = PartitionScratch::default();
+        let mut out = Grants::new();
+        partitioned_allocate_with_into(
+            &queries,
+            &parts,
+            &[PartitionStrategy::Max, PartitionStrategy::MinMax(None)],
+            2560,
+            &mut scratch,
+            &mut out,
+        );
+        // 1000-page quota fits no 1200-page maximum; borrowing the idle
+        // 1560 admits exactly two whole maximums (2400 ≤ 2560).
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&(_, p)| p == 1200));
+    }
+
+    #[test]
+    #[should_panic(expected = "one strategy per partition")]
+    fn with_strategies_rejects_length_mismatch() {
+        let parts = [PartitionSpec {
+            quota: 1000,
+            soft: false,
+        }];
+        partitioned_allocate_with_into(
+            &[],
+            &parts,
+            &[],
+            2560,
+            &mut PartitionScratch::default(),
+            &mut Grants::new(),
+        );
     }
 
     #[test]

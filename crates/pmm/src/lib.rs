@@ -17,22 +17,34 @@
 //! * [`partition`] — multi-tenant quotas: [`partition::PartitionedPolicy`]
 //!   runs the MinMax machinery per tenant partition with hard/soft quotas
 //!   and borrow-back.
+//! * [`tenant_pmm`] — PMM v2's adaptive multi-tenant mode:
+//!   [`tenant_pmm::TenantPmm`] runs an independent PMM controller per
+//!   partition, fed by per-tenant batches, with soft-quota borrow-back
+//!   arbitrated across the controllers' chosen strategies.
 //! * [`types`] — snapshot / feedback types shared with the simulator.
+//!
+//! PMM v2 also adds the *regime-aware* projection for bursty arrivals:
+//! [`adaptive::Pmm::regime_aware`] segments learned batches at detected
+//! switches in the windowed miss-ratio series (MMPP state changes are
+//! invisible to the Section 3.3 characteristic tests).
 
 pub mod adaptive;
 pub mod allocator;
 pub mod partition;
 pub mod policy;
+pub mod tenant_pmm;
 pub mod types;
 
 pub use adaptive::{Pmm, PmmParams};
 pub use allocator::{
-    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into,
-    partitioned_allocate, partitioned_allocate_into, proportional_allocate,
-    proportional_allocate_into, AllocScratch, Grants, PartitionScratch, PartitionSpec,
+    max_allocate, max_allocate_clamped_into, max_allocate_into, minmax_allocate,
+    minmax_allocate_into, partitioned_allocate, partitioned_allocate_into,
+    partitioned_allocate_with_into, proportional_allocate, proportional_allocate_into,
+    AllocScratch, Grants, PartitionScratch, PartitionSpec, PartitionStrategy,
 };
 pub use partition::PartitionedPolicy;
 pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};
+pub use tenant_pmm::TenantPmm;
 pub use types::{
     BatchStats, QueryDemand, QueryId, StrategyMode, SystemSnapshot, TracePoint,
 };

@@ -34,6 +34,22 @@ pub trait MemoryPolicy {
     /// Batch boundary callback (adaptive policies learn here).
     fn on_batch(&mut self, _stats: &BatchStats) {}
 
+    /// True when the policy wants per-tenant feedback batches
+    /// ([`MemoryPolicy::on_tenant_batch`]) in addition to — or instead of —
+    /// the global [`MemoryPolicy::on_batch`]. The simulator only assembles
+    /// per-tenant batches for multi-tenant configs, and only routes them to
+    /// policies that ask.
+    fn wants_tenant_feedback(&self) -> bool {
+        false
+    }
+
+    /// Per-tenant batch boundary callback: `stats` covers only the queries
+    /// billed to partition `tenant`, closed independently of other tenants'
+    /// batches (each tenant fills its own `SampleSize` window). Shared
+    /// resources (CPU, disks) have no per-tenant utilization, so those
+    /// fields carry the system-wide readings over the tenant's window.
+    fn on_tenant_batch(&mut self, _tenant: u32, _stats: &BatchStats) {}
+
     /// Current MPL limit, if the policy imposes one.
     fn target_mpl(&self) -> Option<u32> {
         None

@@ -1,0 +1,384 @@
+//! PMM v2: an independent PMM feedback controller per tenant partition.
+//!
+//! [`crate::PartitionedPolicy`] isolates tenants with *static* MinMax
+//! inside each quota — the right control experiment, but blind to each
+//! tenant's own workload: a tenant whose queries would benefit from Max
+//! mode (memory-rich, low contention) is squeezed the same way as one that
+//! needs MinMax's admission throttling. [`TenantPmm`] instead runs one
+//! full [`Pmm`] instance per partition. Each controller receives *its own*
+//! feedback batches (the simulator closes a `SampleSize` window per tenant
+//! — see `MemoryPolicy::on_tenant_batch`), runs its own strategy-switch
+//! tests, miss-ratio projection, and workload-change detection, and
+//! publishes a per-partition [`PartitionStrategy`]. The allocator then
+//! arbitrates: quotas first (each divided by its tenant's current
+//! strategy), then soft-quota borrow-back of idle pages in declaration
+//! order — so adaptivity happens *within* the isolation contract, never
+//! across it.
+
+use crate::adaptive::{Pmm, PmmParams};
+use crate::allocator::{
+    partitioned_allocate_with_into, AllocScratch, Grants, PartitionScratch,
+    PartitionSpec, PartitionStrategy,
+};
+use crate::policy::MemoryPolicy;
+use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
+
+/// Adaptive multi-tenant policy: one [`Pmm`] controller per partition.
+pub struct TenantPmm {
+    partitions: Vec<PartitionSpec>,
+    /// The parameter set every controller runs with (kept so builder
+    /// upgrades like [`TenantPmm::regime_aware`] preserve it).
+    params: PmmParams,
+    controllers: Vec<Pmm>,
+    /// Per-partition strategies, refreshed from the controllers before
+    /// every allocation (reused buffer).
+    strategies: Vec<PartitionStrategy>,
+    scratch: PartitionScratch,
+    /// Merged decision trace: every controller's trace points, appended in
+    /// the order the decisions were taken (tenant batches close in virtual
+    /// time order, so the merge is chronological).
+    trace: Vec<TracePoint>,
+    /// How many trace points of each controller have been merged already.
+    trace_seen: Vec<usize>,
+    regime_aware: bool,
+}
+
+impl TenantPmm {
+    /// One default-parameter PMM controller per partition.
+    ///
+    /// # Panics
+    /// Panics on an empty partition table — a tenant-aware policy without
+    /// tenants is a configuration bug.
+    pub fn new(partitions: Vec<PartitionSpec>) -> Self {
+        Self::with_params(partitions, PmmParams::default())
+    }
+
+    /// Per-tenant controllers sharing one parameter set.
+    ///
+    /// # Panics
+    /// Panics on an empty partition table.
+    pub fn with_params(partitions: Vec<PartitionSpec>, params: PmmParams) -> Self {
+        assert!(
+            !partitions.is_empty(),
+            "TenantPmm needs at least one partition"
+        );
+        let n = partitions.len();
+        TenantPmm {
+            partitions,
+            params,
+            controllers: (0..n).map(|_| Pmm::new(params)).collect(),
+            strategies: vec![PartitionStrategy::Max; n],
+            scratch: PartitionScratch::default(),
+            trace: Vec::new(),
+            trace_seen: vec![0; n],
+            regime_aware: false,
+        }
+    }
+
+    /// Upgrade every per-tenant controller to the regime-aware v2
+    /// projection (see [`Pmm::regime_aware`]); reports as
+    /// `"PMM-tenant-regime"`.
+    pub fn regime_aware(mut self) -> Self {
+        self.controllers = (0..self.partitions.len())
+            .map(|_| {
+                Pmm::with_regime(self.params, crate::adaptive::REGIME_WINDOW_BATCHES)
+            })
+            .collect();
+        self.regime_aware = true;
+        self
+    }
+
+    /// Make every partition soft (quota + borrow-back), mirroring
+    /// [`crate::PartitionedPolicy::soften`].
+    pub fn soften(mut self) -> Self {
+        for p in &mut self.partitions {
+            p.soft = true;
+        }
+        self
+    }
+
+    /// The partition table in force.
+    pub fn partitions(&self) -> &[PartitionSpec] {
+        &self.partitions
+    }
+
+    /// The per-tenant controllers, index-aligned with
+    /// [`TenantPmm::partitions`] (inspection / tests).
+    pub fn controllers(&self) -> &[Pmm] {
+        &self.controllers
+    }
+
+    /// Clamp a tenant index the way the allocator does: out-of-range bills
+    /// to the last partition.
+    fn clamp(&self, tenant: u32) -> usize {
+        (tenant as usize).min(self.partitions.len() - 1)
+    }
+
+    /// Refresh the per-partition strategy table from the controllers.
+    fn refresh_strategies(&mut self) {
+        for (s, c) in self.strategies.iter_mut().zip(&self.controllers) {
+            *s = match c.mode() {
+                StrategyMode::Max => PartitionStrategy::Max,
+                // A PMM controller's MinMax target is its partition's MPL
+                // ceiling here — per-tenant, not system-wide.
+                _ => PartitionStrategy::MinMax(c.target_mpl()),
+            };
+        }
+    }
+
+    /// Pull any new trace points out of controller `i` into the merged
+    /// trace.
+    fn merge_trace(&mut self, i: usize) {
+        let points = self.controllers[i].trace();
+        if points.len() > self.trace_seen[i] {
+            self.trace.extend_from_slice(&points[self.trace_seen[i]..]);
+            self.trace_seen[i] = points.len();
+        }
+    }
+}
+
+impl MemoryPolicy for TenantPmm {
+    fn name(&self) -> String {
+        if self.regime_aware {
+            "PMM-tenant-regime".into()
+        } else {
+            "PMM-tenant".into()
+        }
+    }
+
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
+        let mut out = Grants::new();
+        self.allocate_into(snapshot, &mut AllocScratch::default(), &mut out);
+        out
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        _scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        self.refresh_strategies();
+        partitioned_allocate_with_into(
+            &snapshot.queries,
+            &self.partitions,
+            &self.strategies,
+            snapshot.total_memory,
+            &mut self.scratch,
+            out,
+        );
+    }
+
+    fn wants_tenant_feedback(&self) -> bool {
+        true
+    }
+
+    fn on_tenant_batch(&mut self, tenant: u32, stats: &BatchStats) {
+        let i = self.clamp(tenant);
+        self.controllers[i].on_batch(stats);
+        self.merge_trace(i);
+    }
+
+    fn target_mpl(&self) -> Option<u32> {
+        // A system-wide ceiling exists only while *every* controller caps
+        // its partition; one Max-mode tenant makes the total unbounded.
+        self.controllers
+            .iter()
+            .map(MemoryPolicy::target_mpl)
+            .try_fold(0u32, |acc, t| t.map(|t| acc.saturating_add(t)))
+    }
+
+    fn mode(&self) -> StrategyMode {
+        // Summary for reports: MinMax once every tenant has switched.
+        if self
+            .controllers
+            .iter()
+            .all(|c| c.mode() == StrategyMode::MinMax)
+        {
+            StrategyMode::MinMax
+        } else {
+            StrategyMode::Max
+        }
+    }
+
+    fn trace(&self) -> &[TracePoint] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueryDemand, QueryId};
+    use simkit::SimTime;
+    use stats::SampleSummary;
+
+    fn summary(mean: f64, var: f64, n: u64) -> SampleSummary {
+        SampleSummary::new(mean, var, n)
+    }
+
+    /// A batch that satisfies all four switch-to-MinMax conditions.
+    fn struggle(now_s: u64) -> BatchStats {
+        BatchStats {
+            now: SimTime::from_secs(now_s),
+            served: 30,
+            missed: 8,
+            realized_mpl: 1.8,
+            cpu_util: 0.15,
+            disk_util: 0.25,
+            wait_time: summary(40.0, 100.0, 30),
+            slack_surplus: summary(120.0, 400.0, 30),
+            char_max_mem: summary(1321.0, 10_000.0, 30),
+            char_operand_ios: summary(1200.0, 10_000.0, 30),
+            char_norm_constraint: summary(0.2, 0.001, 30),
+        }
+    }
+
+    fn halves(soft: bool) -> Vec<PartitionSpec> {
+        vec![
+            PartitionSpec { quota: 1280, soft },
+            PartitionSpec { quota: 1280, soft },
+        ]
+    }
+
+    fn snapshot(per_tenant: u64, tenants: u32) -> SystemSnapshot {
+        SystemSnapshot {
+            now: SimTime::ZERO,
+            total_memory: 2560,
+            queries: (0..per_tenant * tenants as u64)
+                .map(|i| QueryDemand {
+                    id: QueryId(i),
+                    deadline: SimTime(100 + i),
+                    min_mem: 37,
+                    max_mem: 1321,
+                    tenant: (i % tenants as u64) as u32,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn names_and_feedback_opt_in() {
+        let p = TenantPmm::new(halves(false));
+        assert_eq!(p.name(), "PMM-tenant");
+        assert!(p.wants_tenant_feedback());
+        assert_eq!(
+            TenantPmm::new(halves(false)).regime_aware().name(),
+            "PMM-tenant-regime"
+        );
+        assert!(!crate::MaxPolicy.wants_tenant_feedback());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_empty_partition_table() {
+        TenantPmm::new(Vec::new());
+    }
+
+    #[test]
+    fn regime_upgrade_preserves_custom_params() {
+        let custom = PmmParams {
+            mpl_cap: 7,
+            util_low: 0.55,
+            ..PmmParams::default()
+        };
+        let p = TenantPmm::with_params(halves(false), custom).regime_aware();
+        for c in p.controllers() {
+            assert_eq!(c.params().mpl_cap, 7, "custom params survive the upgrade");
+            assert_eq!(c.params().util_low, 0.55);
+        }
+    }
+
+    #[test]
+    fn controllers_adapt_independently() {
+        let mut p = TenantPmm::new(halves(false));
+        assert_eq!(p.mode(), StrategyMode::Max);
+        // Only tenant 1 struggles: its controller switches, tenant 0 stays
+        // in Max mode.
+        p.on_tenant_batch(1, &struggle(100));
+        assert_eq!(p.controllers()[0].mode(), StrategyMode::Max);
+        assert_eq!(p.controllers()[1].mode(), StrategyMode::MinMax);
+        assert_eq!(p.mode(), StrategyMode::Max, "summary mode: not all MinMax");
+        assert_eq!(p.target_mpl(), None, "a Max-mode tenant is unbounded");
+        // The merged trace carries tenant 1's switch decision.
+        assert_eq!(p.trace().len(), 1);
+        assert_eq!(p.trace()[0].mode, StrategyMode::MinMax);
+        // Now tenant 0 struggles too.
+        p.on_tenant_batch(0, &struggle(200));
+        assert_eq!(p.mode(), StrategyMode::MinMax);
+        let sum = p.target_mpl().expect("both capped");
+        let t0 = p.controllers()[0].target_mpl().unwrap();
+        let t1 = p.controllers()[1].target_mpl().unwrap();
+        assert_eq!(sum, t0 + t1);
+        assert_eq!(p.trace().len(), 2);
+    }
+
+    #[test]
+    fn allocation_follows_each_tenant_mode() {
+        let mut p = TenantPmm::new(halves(false));
+        let snap = snapshot(6, 2);
+        // Both in Max mode: a 1280-page quota cannot hold a 1321-page
+        // maximum, so each partition admits exactly its most urgent query
+        // at the budget-clamped grant (starvation-free Max).
+        let grants = p.allocate(&snap);
+        assert_eq!(grants.len(), 2, "one clamped admission per partition");
+        assert!(grants.iter().all(|&(_, pages)| pages == 1280));
+        // Tenant 1 switches to MinMax: its partition admits many minimums
+        // while tenant 0 still admits a single clamped maximum.
+        p.on_tenant_batch(1, &struggle(100));
+        let grants = p.allocate(&snap);
+        let t1: Vec<_> = grants.iter().filter(|(id, _)| id.0 % 2 == 1).collect();
+        let target = p.controllers()[1].target_mpl().unwrap() as usize;
+        assert_eq!(t1.len(), target.min(6));
+        let t0: Vec<_> = grants.iter().filter(|(id, _)| id.0 % 2 == 0).collect();
+        assert_eq!(t0.len(), 1);
+        assert_eq!(t0[0].1, 1280);
+    }
+
+    #[test]
+    fn out_of_range_tenant_feedback_clamps_to_last() {
+        let mut p = TenantPmm::new(halves(false));
+        p.on_tenant_batch(9, &struggle(100));
+        assert_eq!(p.controllers()[1].mode(), StrategyMode::MinMax);
+        assert_eq!(p.controllers()[0].mode(), StrategyMode::Max);
+    }
+
+    #[test]
+    fn soften_enables_borrow_back_across_adaptive_partitions() {
+        let mut p = TenantPmm::new(halves(true));
+        // Tenant 0 adapts to MinMax; tenant 1 is idle.
+        p.on_tenant_batch(0, &struggle(100));
+        let snap = SystemSnapshot {
+            now: SimTime::ZERO,
+            total_memory: 2560,
+            queries: (0..8)
+                .map(|i| QueryDemand {
+                    id: QueryId(i),
+                    deadline: SimTime(100 + i),
+                    min_mem: 300,
+                    max_mem: 1321,
+                    tenant: 0,
+                })
+                .collect(),
+        };
+        let grants = p.allocate(&snap);
+        let total: u64 = grants.iter().map(|&(_, g)| g as u64).sum();
+        assert!(
+            total > 1280,
+            "soft quota borrows the idle partition: {total}"
+        );
+        assert!(total <= 2560);
+    }
+
+    #[test]
+    fn global_batches_are_ignored() {
+        let mut p = TenantPmm::new(halves(false));
+        p.on_batch(&struggle(100));
+        assert!(
+            p.controllers()
+                .iter()
+                .all(|c| c.mode() == StrategyMode::Max),
+            "global feedback must not reach the per-tenant controllers"
+        );
+    }
+}

@@ -69,6 +69,11 @@ pub struct SimConfig {
     /// Firm deadlines: abort queries at their deadline (the paper's model).
     /// Setting this false is the run-to-completion ablation.
     pub firm_deadlines: bool,
+    /// Record every class's inter-arrival gaps into
+    /// `RunReport::arrival_gaps` so the run can be replayed through
+    /// `workload::Trace` (`--record-arrivals` in the driver). Metric-only:
+    /// recording never changes the simulation.
+    pub record_arrivals: bool,
 }
 
 impl SimConfig {
@@ -101,6 +106,7 @@ impl SimConfig {
             sample_size: 30,
             window_secs: 1_200.0,
             firm_deadlines: true,
+            record_arrivals: false,
         }
     }
 

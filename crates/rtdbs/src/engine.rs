@@ -18,11 +18,20 @@
 //!
 //! Every `SampleSize` served queries the engine assembles a
 //! [`pmm::BatchStats`] and feeds it to the policy — this is the feedback
-//! loop PMM's adaptation lives on.
+//! loop PMM's adaptation lives on. Multi-tenant configs additionally keep
+//! one *independent* batch window per tenant partition: when a policy opts
+//! in ([`MemoryPolicy::wants_tenant_feedback`]), each tenant's window
+//! closes on its own schedule and is routed to
+//! [`MemoryPolicy::on_tenant_batch`] — the feedback path PMM v2's
+//! per-tenant controllers (`pmm::TenantPmm`) adapt on. The engine also
+//! aggregates per-tenant quota utilization and borrow volume into
+//! [`RunReport::tenants`] for any policy.
 
 use crate::config::{QueryType, SimConfig};
 use crate::cpu::CpuManager;
-use crate::metrics::{ClassOutcome, RunReport, TimingTallies, WindowPoint};
+use crate::metrics::{
+    ClassOutcome, RunReport, TenantOutcome, TimingTallies, WindowPoint,
+};
 use exec::{Action, ExternalSort, FileRef, HashJoin, Operator};
 use pmm::{
     AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
@@ -108,6 +117,62 @@ impl LiveQuery {
                 .temps
                 .get(&slot)
                 .unwrap_or_else(|| panic!("unbound temp slot {slot}")),
+        }
+    }
+}
+
+/// Per-tenant tracking: run-level aggregates (quota utilization, borrow
+/// volume, outcomes) plus — when the policy asks for per-tenant feedback —
+/// an independent `SampleSize` batch window whose closure feeds
+/// [`MemoryPolicy::on_tenant_batch`]. Pure bookkeeping: nothing here
+/// consumes randomness or moves an event, so single-tenant runs (where the
+/// vector is empty) are bit-identical to the pre-v2 engine.
+struct TenantState {
+    name: String,
+    quota: u32,
+    soft: bool,
+    // Run-level outcomes and time-weighted usage.
+    served: u64,
+    missed: u64,
+    mpl: TimeWeighted,
+    used: TimeWeighted,
+    borrowed: TimeWeighted,
+    // Scratch for the single pass over live queries in `update_mpl`.
+    cur_holders: u32,
+    cur_pages: u64,
+    // Per-tenant feedback batch window (maintained only when the policy
+    // wants tenant feedback).
+    b_served: u64,
+    b_missed: u64,
+    b_mpl: TimeWeighted,
+    b_wait: Tally,
+    b_slack: Tally,
+    b_char_mem: Tally,
+    b_char_ios: Tally,
+    b_char_norm: Tally,
+}
+
+impl TenantState {
+    fn new(name: String, quota: u32, soft: bool, start: SimTime) -> Self {
+        TenantState {
+            name,
+            quota,
+            soft,
+            served: 0,
+            missed: 0,
+            mpl: TimeWeighted::new(start, 0.0),
+            used: TimeWeighted::new(start, 0.0),
+            borrowed: TimeWeighted::new(start, 0.0),
+            cur_holders: 0,
+            cur_pages: 0,
+            b_served: 0,
+            b_missed: 0,
+            b_mpl: TimeWeighted::new(start, 0.0),
+            b_wait: Tally::new(),
+            b_slack: Tally::new(),
+            b_char_mem: Tally::new(),
+            b_char_ios: Tally::new(),
+            b_char_norm: Tally::new(),
         }
     }
 }
@@ -265,6 +330,12 @@ pub struct Simulator {
     batch_char_mem: Tally,
     batch_char_ios: Tally,
     batch_char_norm: Tally,
+    // Per-tenant tracking (empty for single-tenant configs) and whether
+    // per-tenant feedback batches are routed to the policy.
+    tenants: Vec<TenantState>,
+    tenant_feedback: bool,
+    // Recorded inter-arrival gaps per class (only when cfg.record_arrivals).
+    recorded_gaps: Vec<Vec<f64>>,
     // Re-entrancy guard for reallocation.
     reallocating: bool,
     realloc_pending: bool,
@@ -292,6 +363,17 @@ impl Simulator {
         let n_disks = cfg.resources.num_disks as usize;
         let n_classes = cfg.classes.len();
         let end = SimTime::from_secs_f64(cfg.duration_secs);
+        let tenants: Vec<TenantState> = cfg
+            .tenants
+            .iter()
+            .map(|t| TenantState::new(t.name.clone(), t.quota_pages, t.soft, start))
+            .collect();
+        let tenant_feedback = !tenants.is_empty() && policy.wants_tenant_feedback();
+        let recorded_gaps = if cfg.record_arrivals {
+            vec![Vec::new(); n_classes]
+        } else {
+            Vec::new()
+        };
         Simulator {
             cal: Calendar::new(),
             layout,
@@ -349,6 +431,9 @@ impl Simulator {
             batch_char_mem: Tally::new(),
             batch_char_ios: Tally::new(),
             batch_char_norm: Tally::new(),
+            tenants,
+            tenant_feedback,
+            recorded_gaps,
             reallocating: false,
             realloc_pending: false,
             end,
@@ -385,6 +470,11 @@ impl Simulator {
         else {
             return;
         };
+        if self.cfg.record_arrivals {
+            // Microsecond ticks round-trip exactly through f64 at any
+            // realistic horizon, so a recorded trace replays bit-for-bit.
+            self.recorded_gaps[class].push(gap.as_secs_f64());
+        }
         let at = now + gap;
         if at < self.end {
             self.cal.schedule(at, Event::Arrival { class });
@@ -589,11 +679,42 @@ impl Simulator {
     }
 
     fn update_mpl(&mut self, now: SimTime) {
-        let holders = self
-            .live
-            .iter_with_slots()
-            .filter(|(_, q)| q.granted > 0)
-            .count() as f64;
+        // One pass over the live queries either way; multi-tenant runs
+        // fold the per-tenant usage readings (MPL, pages in use, pages
+        // borrowed beyond quota) out of the same scan — every holder bills
+        // a tenant (out-of-range indices clamp), so the global MPL is the
+        // sum of the per-tenant counts.
+        let holders = if self.tenants.is_empty() {
+            self.live
+                .iter_with_slots()
+                .filter(|(_, q)| q.granted > 0)
+                .count() as f64
+        } else {
+            for t in &mut self.tenants {
+                t.cur_holders = 0;
+                t.cur_pages = 0;
+            }
+            let last = self.tenants.len() - 1;
+            for (_, q) in self.live.iter_with_slots() {
+                if q.granted > 0 {
+                    let t = &mut self.tenants[(q.tenant as usize).min(last)];
+                    t.cur_holders += 1;
+                    t.cur_pages += u64::from(q.granted);
+                }
+            }
+            let mut holders = 0u32;
+            for t in &mut self.tenants {
+                holders += t.cur_holders;
+                t.mpl.set(now, f64::from(t.cur_holders));
+                if self.tenant_feedback {
+                    t.b_mpl.set(now, f64::from(t.cur_holders));
+                }
+                t.used.set(now, t.cur_pages as f64);
+                t.borrowed
+                    .set(now, (t.cur_pages as f64 - f64::from(t.quota)).max(0.0));
+            }
+            f64::from(holders)
+        };
         self.mpl_run.set(now, holders);
         self.mpl_batch.set(now, holders);
     }
@@ -781,7 +902,46 @@ impl Simulator {
         self.batch_char_norm
             .record(constraint / q.operand_ios as f64);
 
+        // Per-tenant bookkeeping, mirroring the global accumulators.
+        let tenant_batch_full = if self.tenants.is_empty() {
+            false
+        } else {
+            let ti = (q.tenant as usize).min(self.tenants.len() - 1);
+            let t = &mut self.tenants[ti];
+            t.served += 1;
+            if missed {
+                t.missed += 1;
+            }
+            if self.tenant_feedback {
+                t.b_served += 1;
+                if missed {
+                    t.b_missed += 1;
+                }
+                t.b_wait.record(wait);
+                if let Some(admit) = q.first_admit {
+                    if !missed {
+                        t.b_slack
+                            .record(constraint - now.since(admit).as_secs_f64());
+                    }
+                }
+                t.b_char_mem.record(q.op.max_memory() as f64);
+                t.b_char_ios.record(q.operand_ios as f64);
+                t.b_char_norm.record(constraint / q.operand_ios as f64);
+            }
+            self.tenant_feedback && t.b_served >= u64::from(self.cfg.sample_size)
+        };
+
         self.roll_windows(now);
+        // Tenant batches close BEFORE the global batch: `finish_batch`
+        // resets the shared CPU/disk utilization windows, and when both
+        // windows fill on the same departure (certain whenever one tenant
+        // carries all the traffic) the tenant's stats must read the
+        // utilization accumulated over the sample — not a just-reset
+        // zero-span window.
+        if tenant_batch_full {
+            let ti = (q.tenant as usize).min(self.tenants.len() - 1);
+            self.finish_tenant_batch(now, ti);
+        }
         if self.batch_served >= self.cfg.sample_size as u64 {
             self.finish_batch(now);
         }
@@ -841,6 +1001,47 @@ impl Simulator {
         self.reallocate(now);
     }
 
+    /// Close one tenant's feedback batch: assemble its `BatchStats` (the
+    /// shared CPU/disk readings come from the current global sample window
+    /// — shared resources have no per-tenant utilization) and hand it to
+    /// the policy's per-tenant controller.
+    fn finish_tenant_batch(&mut self, now: SimTime, ti: usize) {
+        let to_summary =
+            |t: &Tally| SampleSummary::new(t.mean(), t.variance(), t.count());
+        let disk_util = self
+            .disk_util_batch
+            .iter()
+            .map(|u| u.fraction(now))
+            .sum::<f64>()
+            / self.disk_util_batch.len() as f64;
+        let cpu_util = self.cpu.util_batch.fraction(now);
+        let t = &mut self.tenants[ti];
+        let stats = BatchStats {
+            now,
+            served: t.b_served,
+            missed: t.b_missed,
+            realized_mpl: t.b_mpl.mean(now),
+            cpu_util,
+            disk_util,
+            wait_time: to_summary(&t.b_wait),
+            slack_surplus: to_summary(&t.b_slack),
+            char_max_mem: to_summary(&t.b_char_mem),
+            char_operand_ios: to_summary(&t.b_char_ios),
+            char_norm_constraint: to_summary(&t.b_char_norm),
+        };
+        t.b_served = 0;
+        t.b_missed = 0;
+        t.b_mpl.reset_window(now);
+        t.b_wait.reset();
+        t.b_slack.reset();
+        t.b_char_mem.reset();
+        t.b_char_ios.reset();
+        t.b_char_norm.reset();
+        self.policy.on_tenant_batch(ti as u32, &stats);
+        // The tenant's controller may have changed its strategy.
+        self.reallocate(now);
+    }
+
     fn finish_report(mut self) -> RunReport {
         let now = self.end;
         self.roll_windows(now);
@@ -857,11 +1058,30 @@ impl Simulator {
             .map(|u| u.fraction(now))
             .sum::<f64>()
             / self.disk_util_run.len().max(1) as f64;
+        let tenant_outcomes: Vec<TenantOutcome> = self
+            .tenants
+            .iter_mut()
+            .map(|t| TenantOutcome {
+                name: t.name.clone(),
+                quota_pages: t.quota,
+                soft: t.soft,
+                served: t.served,
+                missed: t.missed,
+                avg_mpl: t.mpl.mean(now),
+                quota_utilization: if t.quota > 0 {
+                    t.used.mean(now) / f64::from(t.quota)
+                } else {
+                    0.0
+                },
+                borrowed_pages: t.borrowed.mean(now),
+            })
+            .collect();
         RunReport {
             policy: self.policy.name(),
             served: self.served,
             missed: self.missed,
             classes: self.class_outcomes,
+            tenants: tenant_outcomes,
             avg_mpl: self.mpl_run.mean(now),
             cpu_util: self.cpu.util_run.fraction(now),
             disk_util,
@@ -872,6 +1092,7 @@ impl Simulator {
             miss_ci_half_width: self.miss_series.half_width(1.645),
             sim_secs: now.as_secs_f64(),
             events: self.cal.events_dispatched(),
+            arrival_gaps: self.recorded_gaps,
         }
     }
 }
@@ -1072,6 +1293,154 @@ mod tests {
             "both tenants make progress: {:?}",
             report.classes
         );
+    }
+
+    #[test]
+    fn multi_tenant_report_carries_quota_and_borrow_aggregates() {
+        use pmm::{PartitionSpec, PartitionedPolicy};
+        let mut cfg = SimConfig::multi_tenant(0.5);
+        cfg.duration_secs = 3_000.0;
+        let parts: Vec<PartitionSpec> = cfg
+            .tenants
+            .iter()
+            .map(|t| PartitionSpec {
+                quota: t.quota_pages,
+                soft: t.soft,
+            })
+            .collect();
+        let report = run_simulation(cfg.clone(), Box::new(PartitionedPolicy::new(parts)));
+        assert_eq!(report.tenants.len(), 2);
+        let total_served: u64 = report.tenants.iter().map(|t| t.served).sum();
+        assert_eq!(total_served, report.served, "every query bills a tenant");
+        for t in &report.tenants {
+            assert!(t.quota_pages > 0);
+            assert!(
+                t.quota_utilization > 0.0 && t.quota_utilization <= 1.0,
+                "hard quota utilization in (0,1]: {}",
+                t.quota_utilization
+            );
+            assert_eq!(
+                t.borrowed_pages, 0.0,
+                "hard quotas never borrow: {}",
+                t.borrowed_pages
+            );
+            assert!(t.avg_mpl > 0.0);
+        }
+        // Single-tenant runs keep the vector empty.
+        let single = run_simulation(quick_cfg(0.05, 1_000.0), Box::new(MaxPolicy));
+        assert!(single.tenants.is_empty());
+    }
+
+    #[test]
+    fn tenant_pmm_adapts_per_partition() {
+        use pmm::{PartitionSpec, TenantPmm};
+        let mut cfg = SimConfig::multi_tenant(0.5);
+        cfg.duration_secs = 6_000.0;
+        let parts: Vec<PartitionSpec> = cfg
+            .tenants
+            .iter()
+            .map(|t| PartitionSpec {
+                quota: t.quota_pages,
+                soft: t.soft,
+            })
+            .collect();
+        let report = run_simulation(cfg, Box::new(TenantPmm::new(parts)));
+        assert_eq!(report.policy, "PMM-tenant");
+        assert_eq!(report.tenants.len(), 2);
+        assert!(
+            report.tenants.iter().all(|t| t.served > 10),
+            "both tenants make progress under per-tenant PMM: {:?}",
+            report.tenants
+        );
+        // The memory-bound analytics partition must have produced at least
+        // one per-tenant controller decision (switch or projection).
+        assert!(
+            !report.trace.is_empty(),
+            "per-tenant feedback reached the controllers"
+        );
+    }
+
+    #[test]
+    fn tenant_batch_closes_before_the_global_window_resets() {
+        use pmm::{StrategyMode, TracePoint};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Records the utilization readings each per-tenant batch carries.
+        struct UtilProbe {
+            inner: MinMaxPolicy,
+            disk_utils: Rc<RefCell<Vec<f64>>>,
+        }
+        impl MemoryPolicy for UtilProbe {
+            fn name(&self) -> String {
+                "UtilProbe".into()
+            }
+            fn allocate(&mut self, snapshot: &pmm::SystemSnapshot) -> pmm::Grants {
+                self.inner.allocate(snapshot)
+            }
+            fn wants_tenant_feedback(&self) -> bool {
+                true
+            }
+            fn on_tenant_batch(&mut self, _tenant: u32, stats: &BatchStats) {
+                self.disk_utils.borrow_mut().push(stats.disk_util);
+            }
+            fn mode(&self) -> StrategyMode {
+                StrategyMode::MinMax
+            }
+            fn trace(&self) -> &[TracePoint] {
+                &[]
+            }
+        }
+
+        // All traffic on tenant 0: its batch window fills in lockstep with
+        // the global one, so every tenant batch closes on the same
+        // departure as a global batch — the worst case for the shared
+        // utilization windows.
+        let mut cfg = SimConfig::multi_tenant(0.5);
+        cfg.classes[1].arrival = workload::ArrivalSpec::poisson(0.0);
+        cfg.duration_secs = 6_000.0;
+        let readings = Rc::new(RefCell::new(Vec::new()));
+        let probe = UtilProbe {
+            inner: MinMaxPolicy::unlimited(),
+            disk_utils: Rc::clone(&readings),
+        };
+        run_simulation(cfg, Box::new(probe));
+        let readings = readings.borrow();
+        assert!(readings.len() >= 3, "several tenant batches: {readings:?}");
+        assert!(
+            readings.iter().all(|&u| u > 0.0),
+            "tenant batches must carry the sample's utilization, not a \
+             just-reset window: {readings:?}"
+        );
+    }
+
+    #[test]
+    fn recorded_arrivals_replay_bit_for_bit() {
+        let mut cfg = quick_cfg(0.05, 2_000.0);
+        cfg.record_arrivals = true;
+        let recorded = run_simulation(cfg.clone(), Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(recorded.arrival_gaps.len(), 1, "one class recorded");
+        let gaps = recorded.arrival_gaps[0].clone();
+        assert!(!gaps.is_empty());
+        // Recording must not change the simulation itself.
+        let mut plain = cfg.clone();
+        plain.record_arrivals = false;
+        let baseline = run_simulation(plain, Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(baseline.served, recorded.served);
+        assert_eq!(baseline.avg_mpl, recorded.avg_mpl);
+        assert!(baseline.arrival_gaps.is_empty());
+        // Replaying the recorded gaps as a trace reproduces the run.
+        let mut replay_cfg = cfg;
+        replay_cfg.record_arrivals = false;
+        replay_cfg.classes[0].arrival = workload::ArrivalSpec::Trace {
+            gaps,
+            repeat: false,
+        };
+        let replay = run_simulation(replay_cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(replay.served, recorded.served);
+        assert_eq!(replay.missed, recorded.missed);
+        assert_eq!(replay.avg_mpl, recorded.avg_mpl);
+        assert_eq!(replay.cpu_util, recorded.cpu_util);
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub use config::{
     SimConfig, TenantSpec, WorkloadClass,
 };
 pub use engine::{run_simulation, Event, Simulator};
-pub use metrics::{ClassOutcome, RunReport, Timings, WindowPoint};
+pub use metrics::{ClassOutcome, RunReport, TenantOutcome, Timings, WindowPoint};

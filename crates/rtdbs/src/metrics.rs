@@ -37,6 +37,42 @@ impl ClassOutcome {
     }
 }
 
+/// Per-tenant aggregates of one run: the quantitative half of the
+/// multi-tenant isolation story. Populated only for multi-tenant configs
+/// (`SimConfig::tenants` non-empty), one entry per declared tenant.
+#[derive(Clone, Debug, Default)]
+pub struct TenantOutcome {
+    /// Tenant label from the `TenantSpec`.
+    pub name: String,
+    /// The tenant's declared quota in pages.
+    pub quota_pages: u32,
+    /// Whether the quota is soft (may borrow idle pages).
+    pub soft: bool,
+    /// Queries billed to this tenant that left the system.
+    pub served: u64,
+    /// Of those, deadline misses.
+    pub missed: u64,
+    /// Time-averaged MPL of this tenant's queries holding memory.
+    pub avg_mpl: f64,
+    /// Time-averaged fraction of the quota in use (can exceed 1 for soft
+    /// quotas while borrowing).
+    pub quota_utilization: f64,
+    /// Time-averaged pages held *beyond* the quota — the borrow volume.
+    /// Always 0 for hard quotas.
+    pub borrowed_pages: f64,
+}
+
+impl TenantOutcome {
+    /// Tenant miss ratio in percent.
+    pub fn miss_pct(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            100.0 * self.missed as f64 / self.served as f64
+        }
+    }
+}
+
 /// One point of the windowed miss-ratio time series (Figures 12–14).
 #[derive(Clone, Copy, Debug)]
 pub struct WindowPoint {
@@ -70,6 +106,9 @@ pub struct RunReport {
     pub missed: u64,
     /// Per-class breakdown.
     pub classes: Vec<ClassOutcome>,
+    /// Per-tenant breakdown (empty for single-tenant configs): quota
+    /// utilization, borrow volume, and outcomes per partition.
+    pub tenants: Vec<TenantOutcome>,
     /// Time-averaged observed MPL (queries holding memory).
     pub avg_mpl: f64,
     /// CPU utilization over the run.
@@ -94,6 +133,12 @@ pub struct RunReport {
     /// cancelling dead deadline events instead of dispatching them), so it
     /// is excluded from behavior goldens and from `BENCH_<figure>.json`.
     pub events: u64,
+    /// Recorded inter-arrival gaps per workload class (seconds, in arrival
+    /// order), populated only when `SimConfig::record_arrivals` is set.
+    /// Each sequence replays exactly through `workload::Trace`
+    /// (`ArrivalSpec::Trace { gaps, repeat: false }`). Excluded from
+    /// goldens and figure JSON — it is trace tooling, not a metric.
+    pub arrival_gaps: Vec<Vec<f64>>,
 }
 
 impl RunReport {
@@ -139,6 +184,22 @@ mod tests {
     fn miss_pct_handles_zero() {
         let r = RunReport::default();
         assert_eq!(r.miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn tenant_outcome_pct() {
+        let t = TenantOutcome {
+            name: "analytics".into(),
+            quota_pages: 1280,
+            soft: true,
+            served: 50,
+            missed: 10,
+            avg_mpl: 2.0,
+            quota_utilization: 0.8,
+            borrowed_pages: 12.5,
+        };
+        assert!((t.miss_pct() - 20.0).abs() < 1e-12);
+        assert_eq!(TenantOutcome::default().miss_pct(), 0.0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::layout::FileId;
 use crate::queue::{DiskQueue, QueuedRequest};
 use simkit::metrics::Utilization;
 use simkit::{Duration, SimTime};
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
 /// Whether an access reads or writes the media.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,10 +51,150 @@ pub struct Access {
 }
 
 /// A cache line: one block of pages of one file.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct CacheKey {
     file: FileId,
     block: u32,
+}
+
+/// Slot sentinel for the ends of the [`IndexedLru`] list.
+const LRU_NIL: u32 = u32::MAX;
+
+/// One slab node of the LRU list.
+#[derive(Clone, Copy, Debug)]
+struct LruNode {
+    key: CacheKey,
+    prev: u32,
+    next: u32,
+}
+
+/// Indexed LRU order: a doubly-linked list over a slab of nodes plus a
+/// hash index from key to slot. Every operation the prefetch cache needs —
+/// membership, move-to-back, insert, evict-front, retain — is O(1) (retain
+/// is O(len)), replacing the `VecDeque::contains` / `position` linear scans
+/// that ran on every read service. At the paper's 5-line capacity the scan
+/// was harmless; an indexed order keeps larger-cache experiments honest.
+/// The observable order semantics are *identical* to the deque version —
+/// `crates/storage/tests/lru_model.rs` pins that against a reference model.
+#[derive(Debug, Default)]
+struct IndexedLru {
+    index: HashMap<CacheKey, u32>,
+    nodes: Vec<LruNode>,
+    free: Vec<u32>,
+    /// Least-recently-used end (the eviction victim).
+    head: u32,
+    /// Most-recently-used end.
+    tail: u32,
+}
+
+impl IndexedLru {
+    fn new() -> Self {
+        IndexedLru {
+            index: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: LRU_NIL,
+            tail: LRU_NIL,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Detach `slot` from the list (it stays allocated).
+    fn unlink(&mut self, slot: u32) {
+        let LruNode { prev, next, .. } = self.nodes[slot as usize];
+        if prev == LRU_NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == LRU_NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Attach a detached `slot` at the MRU end.
+    fn link_back(&mut self, slot: u32) {
+        let node = &mut self.nodes[slot as usize];
+        node.prev = self.tail;
+        node.next = LRU_NIL;
+        if self.tail == LRU_NIL {
+            self.head = slot;
+        } else {
+            self.nodes[self.tail as usize].next = slot;
+        }
+        self.tail = slot;
+    }
+
+    /// Move `key` to the MRU end if present.
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(&slot) = self.index.get(key) {
+            self.unlink(slot);
+            self.link_back(slot);
+        }
+    }
+
+    /// Insert `key` at the MRU end (moving it there if already present —
+    /// the deque version's remove + push_back).
+    fn insert_back(&mut self, key: CacheKey) {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.link_back(slot);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize].key = key;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.nodes.len()).expect("cache fits u32 slots");
+                self.nodes.push(LruNode {
+                    key,
+                    prev: LRU_NIL,
+                    next: LRU_NIL,
+                });
+                s
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_back(slot);
+    }
+
+    /// Evict the LRU entry.
+    fn pop_front(&mut self) -> Option<CacheKey> {
+        if self.head == LRU_NIL {
+            return None;
+        }
+        let slot = self.head;
+        let key = self.nodes[slot as usize].key;
+        self.unlink(slot);
+        self.free.push(slot);
+        self.index.remove(&key);
+        Some(key)
+    }
+
+    /// Drop every entry failing `pred`, preserving the order of the rest.
+    fn retain(&mut self, pred: impl Fn(&CacheKey) -> bool) {
+        let mut cur = self.head;
+        while cur != LRU_NIL {
+            let LruNode { key, next, .. } = self.nodes[cur as usize];
+            if !pred(&key) {
+                self.unlink(cur);
+                self.free.push(cur);
+                self.index.remove(&key);
+            }
+            cur = next;
+        }
+    }
 }
 
 /// LRU prefetch cache, tracked at block granularity.
@@ -62,7 +202,7 @@ struct CacheKey {
 pub struct PrefetchCache {
     capacity_blocks: usize,
     block_pages: u32,
-    lru: VecDeque<CacheKey>,
+    lru: IndexedLru,
     hits: u64,
     misses: u64,
 }
@@ -75,7 +215,7 @@ impl PrefetchCache {
         PrefetchCache {
             capacity_blocks: (capacity_pages / block_pages).max(1) as usize,
             block_pages,
-            lru: VecDeque::new(),
+            lru: IndexedLru::new(),
             hits: 0,
             misses: 0,
         }
@@ -90,8 +230,8 @@ impl PrefetchCache {
 
     /// True if every page of `[first, first+pages)` of `file` is cached.
     /// Touches the lines (LRU update) on a full hit. Runs on every read
-    /// service, so the block range is iterated directly — no per-lookup
-    /// key buffer.
+    /// service; membership and the touch are both O(1) per block through
+    /// the indexed order.
     pub fn lookup(&mut self, file: FileId, first: u32, pages: u32) -> bool {
         let first_block = first / self.block_pages;
         let last_block = (first + pages.max(1) - 1) / self.block_pages;
@@ -100,11 +240,7 @@ impl PrefetchCache {
         if all_present {
             self.hits += 1;
             for block in first_block..=last_block {
-                let k = CacheKey { file, block };
-                if let Some(pos) = self.lru.iter().position(|&x| x == k) {
-                    let line = self.lru.remove(pos).expect("position valid");
-                    self.lru.push_back(line);
-                }
+                self.lru.touch(&CacheKey { file, block });
             }
         } else {
             self.misses += 1;
@@ -116,10 +252,7 @@ impl PrefetchCache {
     pub fn insert(&mut self, file: FileId, first: u32, pages: u32) {
         for p in (first..first + pages.max(1)).step_by(self.block_pages as usize) {
             let k = self.key(file, p);
-            if let Some(pos) = self.lru.iter().position(|&x| x == k) {
-                self.lru.remove(pos);
-            }
-            self.lru.push_back(k);
+            self.lru.insert_back(k);
             while self.lru.len() > self.capacity_blocks {
                 self.lru.pop_front();
             }
