@@ -1,19 +1,22 @@
-//! Hot-path micro-benchmarks: the three substrates the event loop spends
-//! its time in — the calendar (push/pop/cancel), the memory-division
-//! allocators behind `reallocate()`, and the per-disk ED+elevator queue.
+//! Hot-path micro-benchmarks: the substrates the event loop spends its
+//! time in — the calendar (push/pop/cancel), the memory-division
+//! allocators behind `reallocate()`, the per-disk ED+elevator queue, and
+//! the operator-stepping protocols (single-step vs. run-length) at
+//! paper-scale relation sizes.
 //!
-//! These start the repo's perf trajectory: run
+//! These track the repo's perf trajectory: run
 //! `cargo bench -p bench --bench hotpath_micro` before and after touching
 //! the event loop, and keep `BENCH_perf.json` (the driver's events/sec
 //! reading) moving in the same direction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_core::exec::{Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator};
 use pmm_core::pmm::{
     minmax_allocate, minmax_allocate_into, proportional_allocate, AllocScratch, Grants,
     QueryDemand, QueryId,
 };
 use pmm_core::simkit::{Calendar, Duration, SimTime};
-use pmm_core::storage::{DiskQueue, QueuedRequest};
+use pmm_core::storage::{DiskQueue, FileId, QueuedRequest};
 use std::hint::black_box;
 
 /// Deterministic pseudo-random stream (SplitMix64) for bench inputs.
@@ -34,6 +37,43 @@ fn demands(n: u64) -> Vec<QueryDemand> {
             tenant: 0,
         })
         .collect()
+}
+
+/// Drive an operator to completion one `step()` at a time (the seed
+/// protocol), tallying the actions so nothing is optimized away.
+fn drain_steps(op: &mut dyn Operator) -> u64 {
+    let mut n = 0u64;
+    let mut cpu = 0u64;
+    loop {
+        match op.step() {
+            Action::Cpu(c) => cpu += c,
+            Action::Finished => return n ^ cpu,
+            Action::Parked => unreachable!("fixed allocation never parks"),
+            _ => {}
+        }
+        n += 1;
+    }
+}
+
+/// Drive an operator to completion through the run-length protocol (the
+/// engine's hot path: buffered pops, operator re-entered per batch only).
+fn drain_runs(op: &mut dyn Operator) -> u64 {
+    let mut run = ActionRun::new();
+    let mut n = 0u64;
+    let mut cpu = 0u64;
+    loop {
+        let Some(action) = run.pop() else {
+            op.plan_run(&mut run);
+            continue;
+        };
+        match action {
+            Action::Cpu(c) => cpu += c,
+            Action::Finished => return n ^ cpu,
+            Action::Parked => unreachable!("fixed allocation never parks"),
+            _ => {}
+        }
+        n += 1;
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -112,6 +152,54 @@ fn bench(c: &mut Criterion) {
             }
             black_box(live)
         })
+    });
+
+    // Operator stepping at paper scale (Table 2 / Section 5.1 sizes):
+    // the baseline join builds ‖R‖ = 1200 and probes ‖S‖ = 6000 pages; the
+    // sort forms runs over 1200 pages with a 100-page workspace and merges
+    // them. `_step` is the seed one-`Action`-per-call protocol, `_run` the
+    // batched run-length protocol the engine drives — same action streams
+    // (pinned by `crates/exec/tests/run_protocol_model.rs`). Honest
+    // recording: in this *isolated* drain the run protocol pays for its
+    // buffer round-trip and per-plan checkpoint on top of the same state
+    // machine, so it reads ~2× slower per bare action. Engine-level
+    // events/s (`BENCH_perf.json`) is the in-situ measure, where the
+    // per-phase cost caches and the batched planning amortize against real
+    // calendar/CPU/disk work per action — there the protocols measure
+    // within a few percent of each other, and the PR's ≥1.3× fig3/fig8
+    // win comes from the whole package (placement caching, ED-order reuse,
+    // CPU heap, service-time memoization) riding on the run redesign.
+    let join_mid = || {
+        let mut op = HashJoin::new(
+            ExecConfig::default(),
+            FileId::Relation(0),
+            1200,
+            FileId::Relation(1),
+            6000,
+        );
+        // Mid allocation: both the in-memory and the spill/second-pass
+        // paths are exercised, like a contended engine run.
+        let alloc = (op.min_memory() + op.max_memory()) / 2;
+        op.set_allocation(alloc);
+        op
+    };
+    c.bench_function("opstep/join_build_probe_step_1200x6000", |b| {
+        b.iter(|| black_box(drain_steps(&mut join_mid())))
+    });
+    c.bench_function("opstep/join_build_probe_run_1200x6000", |b| {
+        b.iter(|| black_box(drain_runs(&mut join_mid())))
+    });
+
+    let sort_two_pass = || {
+        let mut op = ExternalSort::new(ExecConfig::default(), FileId::Relation(0), 1200);
+        op.set_allocation(100); // ~198-page runs, single merge pass
+        op
+    };
+    c.bench_function("opstep/sort_form_merge_step_1200_w100", |b| {
+        b.iter(|| black_box(drain_steps(&mut sort_two_pass())))
+    });
+    c.bench_function("opstep/sort_form_merge_run_1200_w100", |b| {
+        b.iter(|| black_box(drain_runs(&mut sort_two_pass())))
     });
 
     c.bench_function("reallocate/minmax_64", |b| {

@@ -20,7 +20,9 @@
 //! smoke configuration), `--record-arrivals` (write replication 0's
 //! inter-arrival gaps per cell and class as `TRACE_<figure>_cell<i>_
 //! class<j>.txt`, replayable via `workload::Trace::from_file` /
-//! `ArrivalSpec::Trace`).
+//! `ArrivalSpec::Trace`), `--record-pmm-decisions` (write replication 0's
+//! PMM decision trace per adaptive cell as `TRACE_pmm_<figure>_cell<i>.txt`
+//! — the Figure 15 series the merged JSON drops).
 //!
 //! Beyond the paper: `--figure burst` sweeps MMPP burst ratios at the
 //! baseline's mean rate under the static policies, v1 PMM, and the
@@ -103,7 +105,10 @@ fn run_driver(args: &[String]) -> Result<(), String> {
                 _ => return Err("--figure requires a value".into()),
             }
             i += 2;
-        } else if a == "--smoke" || a == "--record-arrivals" {
+        } else if a == "--smoke"
+            || a == "--record-arrivals"
+            || a == "--record-pmm-decisions"
+        {
             i += 1;
         } else if VALUE_FLAGS.contains(&a.as_str()) {
             if args.get(i + 1).is_none() {
@@ -139,6 +144,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         },
         master_seed: parse_flag(args, "--master-seed", 1994)?,
         record_arrivals: args.iter().any(|a| a == "--record-arrivals"),
+        record_pmm_decisions: args.iter().any(|a| a == "--record-pmm-decisions"),
     };
     if cfg.seeds == 0 {
         return Err("--seeds must be at least 1".into());
@@ -191,6 +197,33 @@ fn run_driver(args: &[String]) -> Result<(), String> {
             println!(
                 "wrote {} arrival trace file(s) (replayable via ArrivalSpec::Trace)",
                 result.traces.len()
+            );
+        }
+        // PMM decision traces (Figure 15): one text file per cell whose
+        // policy took adaptive decisions, in the Figures 6/15 layout.
+        for t in &result.pmm_traces {
+            let trace_path =
+                out_dir.join(format!("TRACE_pmm_{figure}_cell{}.txt", t.cell));
+            let mut body = format!(
+                "# {figure} cell {} (x={:?}, policy={}) — replication 0 PMM \
+                 decision trace: t_secs mode target_mpl\n",
+                t.cell, t.x, t.policy
+            );
+            for p in &t.points {
+                body.push_str(&format!(
+                    "{:?} {} {}\n",
+                    p.at.as_secs_f64(),
+                    p.mode,
+                    p.target_mpl.map_or("-".into(), |m| m.to_string())
+                ));
+            }
+            std::fs::write(&trace_path, body)
+                .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        }
+        if !result.pmm_traces.is_empty() {
+            println!(
+                "wrote {} PMM decision trace file(s) (Figure 15 series)",
+                result.pmm_traces.len()
             );
         }
         perf.push((figure.clone(), result.perf));

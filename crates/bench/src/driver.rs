@@ -182,6 +182,11 @@ pub struct DriverConfig {
     /// [`FigureResult::traces`], replayable via `workload::Trace`
     /// (`--record-arrivals`). Metric-only: the merged JSON is unaffected.
     pub record_arrivals: bool,
+    /// Collect replication 0's PMM decision trace per cell into
+    /// [`FigureResult::pmm_traces`] (`--record-pmm-decisions`) — the
+    /// Figure 15 series the merged JSON drops. Metric-only: every
+    /// replication always carries its trace; this only surfaces it.
+    pub record_pmm_decisions: bool,
 }
 
 impl Default for DriverConfig {
@@ -192,6 +197,7 @@ impl Default for DriverConfig {
             secs: 3_600.0,
             master_seed: 1994,
             record_arrivals: false,
+            record_pmm_decisions: false,
         }
     }
 }
@@ -300,6 +306,22 @@ pub struct RecordedTrace {
     pub class: usize,
     /// Inter-arrival gaps in seconds, in arrival order.
     pub gaps: Vec<f64>,
+}
+
+/// One recorded PMM decision trace: replication 0's
+/// [`pmm_core::pmm::TracePoint`] series
+/// for one cell — the strategy-mode / target-MPL decisions Figures 6 and
+/// 15 plot, which the merged `BENCH_<figure>.json` deliberately drops.
+#[derive(Clone, Debug)]
+pub struct RecordedPmmTrace {
+    /// Cell index in the figure's canonical order.
+    pub cell: usize,
+    /// The cell's swept parameter.
+    pub x: f64,
+    /// The cell's policy.
+    pub policy: String,
+    /// Replication 0's decision points, in simulation order.
+    pub points: Vec<pmm_core::pmm::TracePoint>,
 }
 
 /// One cell's merged statistics over all replications.
@@ -443,6 +465,11 @@ pub struct FigureResult {
     /// unless [`DriverConfig::record_arrivals`] is set; kept out of the
     /// merged JSON — the binary writes them as separate `TRACE_*` files).
     pub traces: Vec<RecordedTrace>,
+    /// Replication 0's PMM decision traces per cell (empty unless
+    /// [`DriverConfig::record_pmm_decisions`] is set; cells whose policy
+    /// produced no decisions — the static baselines — are skipped). The
+    /// binary writes them as `TRACE_pmm_<figure>_cell<i>.txt`.
+    pub pmm_traces: Vec<RecordedPmmTrace>,
 }
 
 /// Derive the RNG seed for replication `rep` — stable for a given master
@@ -516,6 +543,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
 
     let mut perf = FigurePerf::default();
     let mut traces: Vec<RecordedTrace> = Vec::new();
+    let mut pmm_traces: Vec<RecordedPmmTrace> = Vec::new();
     let cells = spec
         .cells
         .iter()
@@ -541,6 +569,17 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                         gaps: gaps.clone(),
                     });
                 }
+            }
+            if cfg.record_pmm_decisions && !reports[0].trace.is_empty() {
+                // Replication 0 is the canonical recording, mirroring the
+                // arrival traces; static policies trace nothing and are
+                // skipped.
+                pmm_traces.push(RecordedPmmTrace {
+                    cell: c,
+                    x: cell.x,
+                    policy: cell.policy.clone(),
+                    points: reports[0].trace.clone(),
+                });
             }
             perf.cells.push(CellPerf {
                 x: cell.x,
@@ -575,6 +614,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         cells,
         perf,
         traces,
+        pmm_traces,
     })
 }
 
@@ -861,6 +901,47 @@ mod tests {
             json.contains("\"windows\":[{\"t_secs\":"),
             "windows serialized: {json}"
         );
+    }
+
+    #[test]
+    fn pmm_decision_traces_are_recorded_on_request() {
+        // Off by default: the merged JSON keeps dropping the Figure 15
+        // series unless the caller opts in.
+        assert!(!DriverConfig::default().record_pmm_decisions);
+        let cfg = DriverConfig {
+            seeds: 1,
+            threads: 1,
+            secs: 1_500.0,
+            master_seed: 1994,
+            record_pmm_decisions: true,
+            ..DriverConfig::default()
+        };
+        let r = run_figure("fig12", cfg).expect("fig12 runs");
+        assert_eq!(
+            r.pmm_traces.len(),
+            1,
+            "exactly the PMM cell produces decisions; static baselines trace \
+             nothing"
+        );
+        let t = &r.pmm_traces[0];
+        assert_eq!(t.policy, "PMM");
+        assert_eq!(
+            t.cell, 2,
+            "fig12's canonical cell order is Max, MinMax, PMM"
+        );
+        assert!(!t.points.is_empty(), "decision trace carries points");
+        for w in t.points.windows(2) {
+            assert!(w[0].at <= w[1].at, "decisions are in simulation order");
+        }
+        // The recording is metric-only: the merged cells are byte-identical
+        // to a run without it.
+        let off = DriverConfig {
+            record_pmm_decisions: false,
+            ..cfg
+        };
+        let plain = run_figure("fig12", off).expect("rerun");
+        assert!(plain.pmm_traces.is_empty());
+        assert_eq!(plain.to_json(), r.to_json());
     }
 
     #[test]

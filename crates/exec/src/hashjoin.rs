@@ -31,7 +31,10 @@
 //! interleaving of second-pass requests differs, which is irrelevant to the
 //! queueing model.
 
-use crate::op::{blocks_for, cost, Action, ExecConfig, FileRef, IoRequest, Operator};
+use crate::op::{
+    blocks_for, cost, Action, ActionRun, ExecConfig, FileRef, IoRequest, Operator,
+    RUN_BATCH,
+};
 use storage::{FileId, IoKind};
 
 /// Spill temp-file slot used by the join.
@@ -85,6 +88,41 @@ pub struct HashJoin {
     second_read: f64,
     fluctuations: u32,
     started: bool,
+    /// Cached [`HashJoin::contracted_fraction`]: changes only with
+    /// `expanded`, i.e. on `set_allocation` — a per-phase run descriptor,
+    /// not a per-step derivation.
+    frac_con: f64,
+    /// Cached probe-scan CPU for one full block at the current contraction
+    /// level (the partial tail block is still computed directly, with the
+    /// identical expression).
+    probe_cpu_block: u64,
+    /// Run-protocol checkpoint: the state as of the last
+    /// [`Operator::plan_run`], replayed by [`Operator::sync_run`] when a
+    /// run is abandoned partially consumed.
+    saved: Option<JoinCheckpoint>,
+}
+
+/// Every field [`HashJoin::step`] or [`HashJoin::set_allocation`] mutates;
+/// `cfg` / files / sizes / `partitions` / `fr` are construction-time
+/// constants and the cost caches are re-derived, so neither needs saving.
+/// Keep this in lockstep with the struct — the run-protocol model test
+/// (`tests/run_protocol_model.rs`) catches a missed field.
+#[derive(Clone, Copy, Debug)]
+struct JoinCheckpoint {
+    alloc: u32,
+    expanded: u32,
+    state: State,
+    pending_cpu: u64,
+    pending_contract: f64,
+    pending_expand_read: f64,
+    spill_accum: f64,
+    spilled_r: f64,
+    spilled_s: f64,
+    scan_pos: u32,
+    temp_write_pos: u32,
+    second_read: f64,
+    fluctuations: u32,
+    started: bool,
 }
 
 impl HashJoin {
@@ -103,7 +141,7 @@ impl HashJoin {
         assert!(r_pages > 0 && s_pages > 0, "relations must be non-empty");
         let fr = cfg.fudge_factor * r_pages as f64;
         let partitions = (fr.sqrt().floor() as u32).max(1);
-        HashJoin {
+        let mut join = HashJoin {
             cfg,
             r_file,
             s_file,
@@ -125,7 +163,12 @@ impl HashJoin {
             second_read: 0.0,
             fluctuations: 0,
             started: false,
-        }
+            frac_con: 1.0,
+            probe_cpu_block: 0,
+            saved: None,
+        };
+        join.refresh_cost_caches();
+        join
     }
 
     /// Maximum memory demand: `F·‖R‖` plus one I/O buffer (Section 3.2).
@@ -160,6 +203,61 @@ impl HashJoin {
     /// Fraction of tuples hashing to contracted partitions.
     fn contracted_fraction(&self) -> f64 {
         (self.partitions - self.expanded) as f64 / self.partitions as f64
+    }
+
+    /// Probe-scan CPU for a `pages`-page block at the current contraction
+    /// level: hits probe and copy, spills only copy.
+    fn probe_cpu_for(&self, pages: u32) -> u64 {
+        let tuples = pages as f64 * self.cfg.tuples_per_page as f64;
+        let frac_con = self.frac_con;
+        let cpu = tuples
+            * ((1.0 - frac_con) * (cost::HASH_PROBE + cost::HASH_COPY) as f64
+                + frac_con * cost::HASH_COPY as f64);
+        cpu as u64
+    }
+
+    /// Re-derive the per-phase cost descriptors. Called from `new` and
+    /// `set_allocation` only — the scan loops read the cached values.
+    fn refresh_cost_caches(&mut self) {
+        self.frac_con = self.contracted_fraction();
+        self.probe_cpu_block = self.probe_cpu_for(self.cfg.block_pages);
+    }
+
+    fn snapshot(&self) -> JoinCheckpoint {
+        JoinCheckpoint {
+            alloc: self.alloc,
+            expanded: self.expanded,
+            state: self.state,
+            pending_cpu: self.pending_cpu,
+            pending_contract: self.pending_contract,
+            pending_expand_read: self.pending_expand_read,
+            spill_accum: self.spill_accum,
+            spilled_r: self.spilled_r,
+            spilled_s: self.spilled_s,
+            scan_pos: self.scan_pos,
+            temp_write_pos: self.temp_write_pos,
+            second_read: self.second_read,
+            fluctuations: self.fluctuations,
+            started: self.started,
+        }
+    }
+
+    fn restore(&mut self, c: JoinCheckpoint) {
+        self.alloc = c.alloc;
+        self.expanded = c.expanded;
+        self.state = c.state;
+        self.pending_cpu = c.pending_cpu;
+        self.pending_contract = c.pending_contract;
+        self.pending_expand_read = c.pending_expand_read;
+        self.spill_accum = c.spill_accum;
+        self.spilled_r = c.spilled_r;
+        self.spilled_s = c.spilled_s;
+        self.scan_pos = c.scan_pos;
+        self.temp_write_pos = c.temp_write_pos;
+        self.second_read = c.second_read;
+        self.fluctuations = c.fluctuations;
+        self.started = c.started;
+        self.refresh_cost_caches();
     }
 
     /// Fraction of the build input consumed so far (sizes the in-memory
@@ -281,6 +379,35 @@ impl Operator for HashJoin {
             }
         }
         self.expanded = new_e;
+        self.refresh_cost_caches();
+    }
+
+    fn plan_run(&mut self, run: &mut ActionRun) {
+        self.saved = Some(self.snapshot());
+        run.clear();
+        for _ in 0..RUN_BATCH {
+            let action = self.step();
+            run.push(action);
+            if matches!(action, Action::Parked | Action::Finished) {
+                break;
+            }
+        }
+    }
+
+    fn sync_run(&mut self, run: &ActionRun) {
+        if !run.has_pending() {
+            return;
+        }
+        // `take` consumes the checkpoint: a second sync against the same
+        // (now abandoned) run would otherwise silently replay stale state.
+        let saved = self.saved.take().expect("sync_run follows plan_run");
+        self.restore(saved);
+        // Deterministic replay: the state machine regenerates exactly the
+        // consumed prefix, leaving the operator where the single-step
+        // protocol would be.
+        for _ in 0..run.consumed() {
+            let _ = self.step();
+        }
     }
 
     fn step(&mut self) -> Action {
@@ -320,7 +447,7 @@ impl Operator for HashJoin {
                 self.scan_pos += pages;
                 let tuples = pages as u64 * self.cfg.tuples_per_page as u64;
                 self.pending_cpu += tuples * cost::HASH_INSERT + cost::START_IO;
-                self.spill_accum += pages as f64 * self.contracted_fraction();
+                self.spill_accum += pages as f64 * self.frac_con;
                 Action::Io(IoRequest {
                     file: FileRef::Base(self.r_file),
                     first_page: first,
@@ -356,13 +483,13 @@ impl Operator for HashJoin {
                 let pages = self.cfg.block_pages.min(self.s_pages - self.scan_pos);
                 let first = self.scan_pos;
                 self.scan_pos += pages;
-                let tuples = pages as f64 * self.cfg.tuples_per_page as f64;
-                let frac_con = self.contracted_fraction();
-                let cpu = tuples
-                    * ((1.0 - frac_con) * (cost::HASH_PROBE + cost::HASH_COPY) as f64
-                        + frac_con * cost::HASH_COPY as f64);
-                self.pending_cpu += cpu as u64 + cost::START_IO;
-                self.spill_accum += pages as f64 * frac_con;
+                let cpu = if pages == self.cfg.block_pages {
+                    self.probe_cpu_block
+                } else {
+                    self.probe_cpu_for(pages)
+                };
+                self.pending_cpu += cpu + cost::START_IO;
+                self.spill_accum += pages as f64 * self.frac_con;
                 Action::Io(IoRequest {
                     file: FileRef::Base(self.s_file),
                     first_page: first,

@@ -3,11 +3,30 @@
 //!
 //! Operators (hash joins, external sorts) are modelled as state machines
 //! that emit [`Action`]s — CPU bursts, page-range I/Os, temp-file
-//! management — one at a time. The simulator drives an operator by calling
-//! [`Operator::step`], performing the returned action (which takes simulated
-//! time), and calling `step` again when it completes. Memory allocation
-//! changes arrive asynchronously through [`Operator::set_allocation`]
-//! between steps; the operator must adapt (contract or expand, per
+//! management. Two drive protocols exist:
+//!
+//! * **Single-step** ([`Operator::step`]): the simulator performs the
+//!   returned action (which takes simulated time) and calls `step` again
+//!   when it completes. This is the compatibility protocol the standalone
+//!   estimator and the unit tests use.
+//! * **Run-length** ([`Operator::plan_run`] / [`Operator::sync_run`]): the
+//!   operator plans a whole *run* of homogeneous actions into an
+//!   [`ActionRun`] in one call, advancing its state machine past all of
+//!   them eagerly. The engine then schedules the run's per-block I/O
+//!   completions straight off the buffer without re-entering the operator.
+//!   A run is valid until the next phase transition (runs end at
+//!   [`Action::Parked`] / [`Action::Finished`]) or until an asynchronous
+//!   [`Operator::set_allocation`] lands; in the latter case the engine
+//!   calls `sync_run` first, which rolls the operator back to the run's
+//!   consumption point (checkpoint + deterministic replay), so the
+//!   allocation change observes *exactly* the state the single-step
+//!   protocol would have had. The two protocols are action-stream
+//!   identical; `crates/exec/tests/run_protocol_model.rs` pins that on
+//!   random allocation schedules.
+//!
+//! Memory allocation changes arrive asynchronously through
+//! [`Operator::set_allocation`] between steps (or between consumed run
+//! actions); the operator must adapt (contract or expand, per
 //! \[Pang93a, Pang93b\]).
 //!
 //! Keeping the operators pure (no clock, no queues, no references into the
@@ -122,6 +141,70 @@ pub enum Action {
     Finished,
 }
 
+/// Upper bound on the number of actions one [`Operator::plan_run`] call
+/// may emit. Bounds the replay work `sync_run` performs when an allocation
+/// change interrupts a partially consumed run.
+pub const RUN_BATCH: usize = 64;
+
+/// A planned run of operator actions plus a consumption cursor.
+///
+/// The engine pops actions with [`ActionRun::pop`]; the cursor records how
+/// far execution got so [`Operator::sync_run`] can reconcile the operator's
+/// eagerly-advanced state with reality when the run is abandoned early.
+/// The buffer is reused run after run, so it allocates only until warm.
+#[derive(Clone, Debug, Default)]
+pub struct ActionRun {
+    actions: Vec<Action>,
+    next: usize,
+}
+
+impl ActionRun {
+    /// An empty run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all planned actions and reset the cursor.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+        self.next = 0;
+    }
+
+    /// Append an action during planning.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Consume the next planned action, if any.
+    pub fn pop(&mut self) -> Option<Action> {
+        let a = self.actions.get(self.next).copied();
+        if a.is_some() {
+            self.next += 1;
+        }
+        a
+    }
+
+    /// Number of actions consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+
+    /// Total number of planned actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when no actions were planned.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// True when planned actions remain unconsumed.
+    pub fn has_pending(&self) -> bool {
+        self.next < self.actions.len()
+    }
+}
+
 /// A memory-adaptive operator.
 pub trait Operator {
     /// Maximum useful memory (pages): enough to run in one pass.
@@ -137,6 +220,31 @@ pub trait Operator {
     /// Produce the next action. Must be called again only after the
     /// previous action completed.
     fn step(&mut self) -> Action;
+    /// Plan the next run of actions into `run` (cleared first), advancing
+    /// the operator past all of them. Runs end early at a decision boundary
+    /// ([`Action::Parked`] / [`Action::Finished`]) and never exceed
+    /// [`RUN_BATCH`] actions. The default plans a single [`Operator::step`],
+    /// which keeps hand-written test operators on the old protocol.
+    ///
+    /// Contract: after a `plan_run`, the caller must either consume the run
+    /// to exhaustion or call [`Operator::sync_run`] before the next
+    /// `set_allocation` / `plan_run`.
+    fn plan_run(&mut self, run: &mut ActionRun) {
+        run.clear();
+        run.push(self.step());
+    }
+    /// Roll internal state back to `run`'s consumption point, making a
+    /// subsequent [`Operator::set_allocation`] or [`Operator::plan_run`]
+    /// observe exactly the state the single-step protocol would have had
+    /// after `run.consumed()` actions. The default is a no-op, correct for
+    /// the default single-action `plan_run` (a one-action run the caller
+    /// holds is always fully consumed).
+    fn sync_run(&mut self, run: &ActionRun) {
+        debug_assert!(
+            !run.has_pending(),
+            "multi-action runs require a real sync_run implementation"
+        );
+    }
     /// How many times the allocation changed mid-execution (Figure 7).
     fn fluctuations(&self) -> u32;
     /// Pages of operand relation(s) this operator reads (workload-change

@@ -21,14 +21,17 @@
 //! Setting the allocation to zero parks the operator at the next page
 //! boundary after flushing buffered output.
 
-use crate::op::{cost, Action, ExecConfig, FileRef, IoRequest, Operator};
+use crate::op::{
+    cost, Action, ActionRun, ExecConfig, FileRef, IoRequest, Operator, RUN_BATCH,
+};
 use storage::{FileId, IoKind};
 
 /// Temp slot holding the sorted runs.
 const RUN_SLOT: u32 = 0;
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 enum State {
+    #[default]
     Init,
     /// Decide in-memory vs external after the initial grant.
     Dispatch,
@@ -43,7 +46,7 @@ enum State {
 }
 
 /// One in-progress merge step.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 struct MergeStep {
     /// `(start_page, remaining_pages)` of each source run in the temp file.
     sources: Vec<(u32, u32)>,
@@ -59,6 +62,32 @@ struct MergeStep {
     is_final: bool,
     /// Fan-in when the step started (for CPU costing).
     fan: u32,
+    /// CPU per merged page at this step's fan-in — fixed for the step's
+    /// lifetime, so it is derived once here instead of per read.
+    cpu_per_page: u64,
+}
+
+impl Clone for MergeStep {
+    fn clone(&self) -> Self {
+        MergeStep {
+            sources: self.sources.clone(),
+            ..*self
+        }
+    }
+
+    /// Reuse `self.sources`' capacity: the run-protocol checkpoint clones
+    /// the in-flight step on every `plan_run`, which must not allocate in
+    /// steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.sources.clone_from(&source.sources);
+        self.next_source = source.next_source;
+        self.out_written = source.out_written;
+        self.out_accum = source.out_accum;
+        self.out_start = source.out_start;
+        self.is_final = source.is_final;
+        self.fan = source.fan;
+        self.cpu_per_page = source.cpu_per_page;
+    }
 }
 
 /// The memory-adaptive external sort operator.
@@ -84,6 +113,34 @@ pub struct ExternalSort {
     split_requested: bool,
     fluctuations: u32,
     started: bool,
+    /// Cached [`ExternalSort::formation_cpu_per_page`]: a function of the
+    /// workspace only, re-derived on `set_allocation` instead of per block.
+    formation_cpu: u64,
+    /// Run-protocol checkpoint (see [`Operator::sync_run`]); reused across
+    /// plans so the run list's capacity is not reallocated per batch.
+    saved: SortCheckpoint,
+}
+
+/// Every field [`ExternalSort::step`] or `set_allocation` mutates; `cfg`,
+/// `file`, `r_pages` are construction-time constants and `formation_cpu` is
+/// re-derived from `alloc`. Keep in lockstep with the struct — the
+/// run-protocol model test catches a missed field.
+#[derive(Clone, Debug, Default)]
+struct SortCheckpoint {
+    alloc: u32,
+    state: State,
+    pending_cpu: u64,
+    scan_pos: u32,
+    form_accum: u32,
+    current_run: u32,
+    runs: Vec<(u32, u32)>,
+    temp_write_pos: u32,
+    merge: Option<MergeStep>,
+    split_requested: bool,
+    fluctuations: u32,
+    started: bool,
+    /// True only between a `plan_run` and its run's retirement.
+    valid: bool,
 }
 
 impl ExternalSort {
@@ -93,7 +150,7 @@ impl ExternalSort {
     /// Panics on an empty relation.
     pub fn new(cfg: ExecConfig, file: FileId, r_pages: u32) -> Self {
         assert!(r_pages > 0, "cannot sort an empty relation");
-        ExternalSort {
+        let mut sort = ExternalSort {
             cfg,
             file,
             r_pages,
@@ -109,7 +166,11 @@ impl ExternalSort {
             split_requested: false,
             fluctuations: 0,
             started: false,
-        }
+            formation_cpu: 0,
+            saved: SortCheckpoint::default(),
+        };
+        sort.formation_cpu = sort.formation_cpu_per_page();
+        sort
     }
 
     /// Maximum memory demand: the relation size (Section 3.2).
@@ -201,7 +262,47 @@ impl ExternalSort {
             out_start: self.temp_write_pos % self.temp_capacity(),
             is_final,
             fan,
+            cpu_per_page: self.merge_cpu_per_page(fan),
         });
+    }
+
+    /// Save the mutable state for the run protocol. `clone_from` reuses the
+    /// checkpoint's buffers, so steady-state planning allocates nothing for
+    /// the run list.
+    fn snapshot(&mut self) {
+        self.saved.alloc = self.alloc;
+        self.saved.state = self.state;
+        self.saved.pending_cpu = self.pending_cpu;
+        self.saved.scan_pos = self.scan_pos;
+        self.saved.form_accum = self.form_accum;
+        self.saved.current_run = self.current_run;
+        self.saved.runs.clone_from(&self.runs);
+        self.saved.temp_write_pos = self.temp_write_pos;
+        self.saved.merge.clone_from(&self.merge);
+        self.saved.split_requested = self.split_requested;
+        self.saved.fluctuations = self.fluctuations;
+        self.saved.started = self.started;
+        self.saved.valid = true;
+    }
+
+    fn restore(&mut self) {
+        assert!(self.saved.valid, "sync_run follows plan_run");
+        // Consume the checkpoint: a second sync against an already
+        // reconciled run must trip the assert, not replay stale state.
+        self.saved.valid = false;
+        self.alloc = self.saved.alloc;
+        self.state = self.saved.state;
+        self.pending_cpu = self.saved.pending_cpu;
+        self.scan_pos = self.saved.scan_pos;
+        self.form_accum = self.saved.form_accum;
+        self.current_run = self.saved.current_run;
+        self.runs.clone_from(&self.saved.runs);
+        self.temp_write_pos = self.saved.temp_write_pos;
+        self.merge.clone_from(&self.saved.merge);
+        self.split_requested = self.saved.split_requested;
+        self.fluctuations = self.saved.fluctuations;
+        self.started = self.saved.started;
+        self.formation_cpu = self.formation_cpu_per_page();
     }
 }
 
@@ -241,6 +342,30 @@ impl Operator for ExternalSort {
                     self.split_requested = true;
                 }
             }
+        }
+        self.formation_cpu = self.formation_cpu_per_page();
+    }
+
+    fn plan_run(&mut self, run: &mut ActionRun) {
+        self.snapshot();
+        run.clear();
+        for _ in 0..RUN_BATCH {
+            let action = self.step();
+            run.push(action);
+            if matches!(action, Action::Parked | Action::Finished) {
+                break;
+            }
+        }
+    }
+
+    fn sync_run(&mut self, run: &ActionRun) {
+        if !run.has_pending() {
+            return;
+        }
+        self.restore();
+        // Deterministic replay of the consumed prefix (see `HashJoin`).
+        for _ in 0..run.consumed() {
+            let _ = self.step();
         }
     }
 
@@ -339,8 +464,7 @@ impl Operator for ExternalSort {
                 let first = self.scan_pos;
                 self.scan_pos += pages;
                 self.form_accum += pages;
-                self.pending_cpu +=
-                    pages as u64 * self.formation_cpu_per_page() + cost::START_IO;
+                self.pending_cpu += pages as u64 * self.formation_cpu + cost::START_IO;
                 Action::Io(IoRequest {
                     file: FileRef::Base(self.file),
                     first_page: first,
@@ -363,6 +487,7 @@ impl Operator for ExternalSort {
                                 out_start: 0,
                                 is_final: true,
                                 fan: 2,
+                                cpu_per_page: self.merge_cpu_per_page(2),
                             });
                         } else {
                             self.state = State::Terminate;
@@ -392,8 +517,8 @@ impl Operator for ExternalSort {
                     let (start, remaining) = step.sources[idx];
                     step.sources[idx] = (start + 1, remaining - 1);
                     step.out_accum += 1;
-                    let fan = step.fan;
-                    self.pending_cpu += self.merge_cpu_per_page(fan) + cost::START_IO;
+                    let cpu = step.cpu_per_page;
+                    self.pending_cpu += cpu + cost::START_IO;
                     return Action::Io(IoRequest {
                         file: FileRef::Temp(RUN_SLOT),
                         first_page: start % self.temp_capacity(),

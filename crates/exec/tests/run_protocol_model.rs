@@ -1,0 +1,207 @@
+//! Model-based equivalence test for the run-length operator protocol.
+//!
+//! The single-step protocol ([`Operator::step`]) is the reference; the
+//! run-length protocol ([`Operator::plan_run`] / [`Operator::sync_run`])
+//! must emit the *identical* action stream under arbitrary allocation
+//! schedules — including suspensions, mid-run contractions and expansions
+//! landing at arbitrary consumption offsets (the engine's `reallocate`
+//! interrupting a partially consumed run). Both drivers apply the same
+//! `set_allocation` calls after the same number of consumed actions; the
+//! streams and the final fluctuation counts must match exactly.
+
+use exec::{Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator};
+use proptest::prelude::*;
+use storage::FileId;
+
+/// Hard cap on driven actions so a regression cannot hang the test.
+const MAX_ACTIONS: usize = 2_000_000;
+
+/// One schedule entry: consume `gap` actions, then set the allocation
+/// selected by `sel` (0 = suspend, 1 = min, 2/3 = intermediate, 4 = max).
+type Schedule = Vec<(usize, u8)>;
+
+fn pick_alloc(sel: u8, min: u32, max: u32) -> u32 {
+    match sel % 5 {
+        0 => 0,
+        1 => min,
+        2 => min + (max - min) / 3,
+        3 => min + 2 * (max - min) / 3,
+        _ => max,
+    }
+}
+
+/// Drive `op` through `schedule` with the single-step protocol.
+fn drive_steps<O: Operator>(op: &mut O, schedule: &Schedule) -> (Vec<Action>, u32) {
+    let min = op.min_memory();
+    let max = op.max_memory();
+    op.set_allocation(max);
+    let mut out = Vec::new();
+    // A parked operator stops being driven until the entry's allocation
+    // change lands, exactly like the engine's `Waiting::Nothing` state.
+    'sched: for &(gap, sel) in schedule {
+        for _ in 0..gap {
+            let a = op.step();
+            out.push(a);
+            match a {
+                Action::Finished => break 'sched,
+                Action::Parked => break,
+                _ => {}
+            }
+        }
+        op.set_allocation(pick_alloc(sel, min, max));
+    }
+    if out.last() != Some(&Action::Finished) {
+        if op.allocation() == 0 {
+            op.set_allocation(min);
+        }
+        loop {
+            let a = op.step();
+            out.push(a);
+            assert_ne!(a, Action::Parked, "parked with a non-zero allocation");
+            if a == Action::Finished {
+                break;
+            }
+            assert!(out.len() < MAX_ACTIONS, "operator did not terminate");
+        }
+    }
+    (out, op.fluctuations())
+}
+
+/// Drive `op` through `schedule` with the run-length protocol, abandoning
+/// partially consumed runs at every allocation change exactly like the
+/// engine does (`sync_run` then `set_allocation`).
+fn drive_runs<O: Operator>(op: &mut O, schedule: &Schedule) -> (Vec<Action>, u32) {
+    let min = op.min_memory();
+    let max = op.max_memory();
+    op.set_allocation(max);
+    let mut out = Vec::new();
+    let mut run = ActionRun::new();
+    'sched: for &(gap, sel) in schedule {
+        let mut left = gap;
+        while left > 0 {
+            let Some(a) = run.pop() else {
+                op.plan_run(&mut run);
+                assert!(!run.is_empty(), "planned run is never empty");
+                continue;
+            };
+            out.push(a);
+            left -= 1;
+            match a {
+                Action::Finished => break 'sched,
+                Action::Parked => break,
+                _ => {}
+            }
+        }
+        if run.has_pending() {
+            op.sync_run(&run);
+        }
+        run.clear();
+        op.set_allocation(pick_alloc(sel, min, max));
+    }
+    if out.last() != Some(&Action::Finished) {
+        if op.allocation() == 0 {
+            if run.has_pending() {
+                op.sync_run(&run);
+            }
+            run.clear();
+            op.set_allocation(min);
+        }
+        loop {
+            let Some(a) = run.pop() else {
+                op.plan_run(&mut run);
+                continue;
+            };
+            out.push(a);
+            assert_ne!(a, Action::Parked, "parked with a non-zero allocation");
+            if a == Action::Finished {
+                break;
+            }
+            assert!(out.len() < MAX_ACTIONS, "operator did not terminate");
+        }
+    }
+    (out, op.fluctuations())
+}
+
+fn assert_streams_match(
+    (ref_actions, ref_fluct): (Vec<Action>, u32),
+    (run_actions, run_fluct): (Vec<Action>, u32),
+) {
+    assert_eq!(
+        ref_actions.len(),
+        run_actions.len(),
+        "stream lengths diverge"
+    );
+    for (i, (a, b)) in ref_actions.iter().zip(run_actions.iter()).enumerate() {
+        assert_eq!(a, b, "action {i} diverges");
+    }
+    assert_eq!(ref_fluct, run_fluct, "fluctuation counts diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hash_join_run_protocol_matches_step_protocol(
+        r_pages in 40u32..400,
+        s_factor in 1u32..6,
+        schedule in proptest::collection::vec((0usize..200, 0u8..255), 1..12),
+    ) {
+        let s_pages = r_pages * s_factor;
+        let mk = || HashJoin::new(
+            ExecConfig::default(),
+            FileId::Relation(0),
+            r_pages,
+            FileId::Relation(1),
+            s_pages,
+        );
+        let by_steps = drive_steps(&mut mk(), &schedule);
+        let by_runs = drive_runs(&mut mk(), &schedule);
+        assert_streams_match(by_steps, by_runs);
+    }
+
+    #[test]
+    fn external_sort_run_protocol_matches_step_protocol(
+        r_pages in 24u32..300,
+        schedule in proptest::collection::vec((0usize..200, 0u8..255), 1..12),
+    ) {
+        let mk = || ExternalSort::new(ExecConfig::default(), FileId::Relation(0), r_pages);
+        let by_steps = drive_steps(&mut mk(), &schedule);
+        let by_runs = drive_runs(&mut mk(), &schedule);
+        assert_streams_match(by_steps, by_runs);
+    }
+}
+
+/// Directed case: interruptions at every offset of the first few runs of a
+/// small join — catches off-by-one replay bugs the random schedules might
+/// miss between two batch boundaries.
+#[test]
+fn every_interruption_offset_replays_exactly() {
+    for offset in 0usize..140 {
+        let schedule: Schedule = vec![(offset, 2), (37, 3), (11, 0), (5, 4)];
+        let mk = || {
+            HashJoin::new(
+                ExecConfig::default(),
+                FileId::Relation(0),
+                60,
+                FileId::Relation(1),
+                180,
+            )
+        };
+        let by_steps = drive_steps(&mut mk(), &schedule);
+        let by_runs = drive_runs(&mut mk(), &schedule);
+        assert_streams_match(by_steps, by_runs);
+    }
+}
+
+/// Directed case: a sort suspended mid-merge and resumed must match across
+/// protocols (exercises `split_requested` through checkpoint replay).
+#[test]
+fn sort_suspend_resume_mid_merge_matches() {
+    for offset in [0usize, 3, 17, 40, 90, 150, 260] {
+        let schedule: Schedule = vec![(120, 1), (offset, 0), (9, 4)];
+        let mk = || ExternalSort::new(ExecConfig::default(), FileId::Relation(0), 120);
+        let by_steps = drive_steps(&mut mk(), &schedule);
+        let by_runs = drive_runs(&mut mk(), &schedule);
+        assert_streams_match(by_steps, by_runs);
+    }
+}

@@ -26,10 +26,17 @@ pub struct AllocScratch {
 impl AllocScratch {
     /// Fill `self.sorted` with the demands in ED order (deadline, then id —
     /// a unique key, so the unstable sort is deterministic).
+    ///
+    /// The simulator maintains its live-query snapshot in exactly this
+    /// order incrementally (arrival/departure only — deadlines are fixed),
+    /// so on the per-event hot path the `is_sorted` check turns the re-sort
+    /// into a linear verification. Arbitrary callers still get sorted.
     fn ed_order(&mut self, queries: &[QueryDemand]) {
         self.sorted.clear();
         self.sorted.extend_from_slice(queries);
-        self.sorted.sort_unstable_by_key(|q| (q.deadline, q.id));
+        if !self.sorted.is_sorted_by_key(|q| (q.deadline, q.id)) {
+            self.sorted.sort_unstable_by_key(|q| (q.deadline, q.id));
+        }
     }
 }
 

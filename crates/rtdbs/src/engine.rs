@@ -32,7 +32,7 @@ use crate::cpu::CpuManager;
 use crate::metrics::{
     ClassOutcome, RunReport, TenantOutcome, TimingTallies, WindowPoint,
 };
-use exec::{Action, ExternalSort, FileRef, HashJoin, Operator};
+use exec::{Action, ActionRun, ExternalSort, FileRef, HashJoin, Operator};
 use pmm::{
     AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
 };
@@ -40,8 +40,9 @@ use simkit::calendar::EventHandle;
 use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
 use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
 use stats::SampleSummary;
-use std::collections::{HashMap, VecDeque};
-use storage::{Access, DiskFarm, FileId, Layout, RelationMeta, Service};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use storage::{Access, DiskFarm, FileId, FileMeta, Layout, RelationMeta, Service};
 use workload::ArrivalProcess;
 
 /// Calendar event payloads.
@@ -82,17 +83,48 @@ enum Waiting {
     Disk,
 }
 
+/// Cached physical placement of one file a query touches: everything the
+/// per-I/O hot path needs, resolved *once* — at arrival for the base
+/// relations, at `CreateTemp` for temps — instead of through the layout's
+/// hash map on every disk access.
+#[derive(Clone, Copy, Debug)]
+struct PlacedFile {
+    file: FileId,
+    disk: u32,
+    start_cylinder: u32,
+    pages: u32,
+}
+
+impl PlacedFile {
+    fn new(file: FileId, meta: FileMeta) -> Self {
+        PlacedFile {
+            file,
+            disk: meta.disk.0,
+            start_cylinder: meta.start_cylinder,
+            pages: meta.pages,
+        }
+    }
+}
+
 struct LiveQuery {
     id: QueryId,
     class: usize,
     tenant: u32,
     op: Box<dyn Operator>,
+    /// The operator's current planned run; drained by `drive`, reconciled
+    /// via `Operator::sync_run` before any mid-run `set_allocation`.
+    run: ActionRun,
     arrival: SimTime,
     deadline: SimTime,
     granted: u32,
     first_admit: Option<SimTime>,
     waiting: Waiting,
-    temps: HashMap<u32, FileId>,
+    /// Placement of the operand relation(s) (R, and S for joins).
+    r_place: PlacedFile,
+    s_place: Option<PlacedFile>,
+    /// Live temp files by operator slot (operators use one slot today, so a
+    /// linear scan beats any map).
+    temps: Vec<(u32, PlacedFile)>,
     operand_ios: u32,
     /// The query's firm-deadline abort event, cancelled on completion so
     /// long runs do not carry dead deadline events in the calendar.
@@ -110,12 +142,23 @@ impl LiveQuery {
         }
     }
 
-    fn resolve(&self, file: FileRef) -> FileId {
+    fn resolve(&self, file: FileRef) -> &PlacedFile {
         match file {
-            FileRef::Base(f) => f,
-            FileRef::Temp(slot) => *self
+            FileRef::Base(f) => {
+                if self.r_place.file == f {
+                    &self.r_place
+                } else {
+                    match &self.s_place {
+                        Some(s) if s.file == f => s,
+                        _ => panic!("query accesses unknown base file {f:?}"),
+                    }
+                }
+            }
+            FileRef::Temp(slot) => self
                 .temps
-                .get(&slot)
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .map(|(_, p)| p)
                 .unwrap_or_else(|| panic!("unbound temp slot {slot}")),
         }
     }
@@ -192,11 +235,20 @@ const DEAD_SLOT: u32 = u32::MAX;
 /// window is dense: index `id - base`, front advanced past departed ids).
 /// Lookups are two array probes — no tree walk, no hashing — and the slab
 /// index doubles as the key of the dense grant map in `reallocate`.
+///
+/// The table also maintains `ed`: the live queries in Earliest-Deadline
+/// order (`(deadline, id)`, the policies' exact sort key), updated
+/// incrementally on insert/remove only — deadlines are fixed at arrival, so
+/// nothing else can reorder it. `reallocate` feeds the policy snapshot in
+/// this order, which turns the per-event ED re-sort inside the allocators
+/// into an `is_sorted` verification pass (see `AllocScratch::ed_order`).
 struct QueryTable {
     slots: Vec<Option<LiveQuery>>,
     free: Vec<u32>,
     slot_of: VecDeque<u32>,
     base: u64,
+    /// Live queries in `(deadline, id)` order, with their slab slot.
+    ed: Vec<(SimTime, QueryId, u32)>,
 }
 
 impl QueryTable {
@@ -206,6 +258,7 @@ impl QueryTable {
             free: Vec::new(),
             slot_of: VecDeque::new(),
             base: 0,
+            ed: Vec::new(),
         }
     }
 
@@ -217,6 +270,7 @@ impl QueryTable {
             self.base + self.slot_of.len() as u64,
             "query ids must be sequential"
         );
+        let ed_key = (q.deadline, q.id);
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(q);
@@ -229,6 +283,8 @@ impl QueryTable {
             }
         };
         self.slot_of.push_back(slot);
+        let at = self.ed.partition_point(|&(d, id, _)| (d, id) < ed_key);
+        self.ed.insert(at, (ed_key.0, ed_key.1, slot));
         slot
     }
 
@@ -264,6 +320,12 @@ impl QueryTable {
         }
         let q = self.slots[slot as usize].take();
         self.free.push(slot);
+        if let Some(q) = &q {
+            let key = (q.deadline, q.id);
+            let at = self.ed.partition_point(|&(d, i, _)| (d, i) < key);
+            debug_assert!(self.ed[at].1 == id, "ED index out of sync");
+            self.ed.remove(at);
+        }
         q
     }
 
@@ -280,6 +342,18 @@ impl QueryTable {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|q| (i as u32, q)))
+    }
+
+    /// Live queries in `(deadline, id)` order with their slab slots.
+    fn ed_order(&self) -> &[(SimTime, QueryId, u32)] {
+        &self.ed
+    }
+
+    /// Shared slab access for a slot known to be occupied.
+    fn slot_ref(&self, slot: u32) -> &LiveQuery {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("slot holds a live query")
     }
 }
 
@@ -544,12 +618,15 @@ impl Simulator {
             class,
             tenant,
             op,
+            run: ActionRun::new(),
             arrival: now,
             deadline,
             granted: 0,
             first_admit: None,
             waiting: Waiting::Nothing,
-            temps: HashMap::new(),
+            r_place: PlacedFile::new(r_meta.file, self.layout.meta(r_meta.file)),
+            s_place: s_meta.map(|m| PlacedFile::new(m.file, self.layout.meta(m.file))),
+            temps: Vec::new(),
             operand_ios: operand_ios.max(1),
             deadline_handle: None,
         };
@@ -623,8 +700,16 @@ impl Simulator {
             self.snapshot.now = now;
             self.snapshot.total_memory = self.cfg.resources.memory_pages;
             self.snapshot.queries.clear();
-            for (_, q) in self.live.iter_with_slots() {
-                self.snapshot.queries.push(q.demand());
+            // The incrementally-maintained ED order stands in for the
+            // policies' per-event re-sort: the snapshot arrives pre-sorted
+            // by their exact `(deadline, id)` key, so `ed_order` inside the
+            // allocators verifies instead of sorting. (The allocators still
+            // sort arbitrary input — standalone policy users are
+            // unaffected.)
+            for &(_, _, slot) in self.live.ed_order() {
+                self.snapshot
+                    .queries
+                    .push(self.live.slot_ref(slot).demand());
             }
             self.policy.allocate_into(
                 &self.snapshot,
@@ -666,6 +751,13 @@ impl Simulator {
         let Some(q) = self.live.get_mut(id) else {
             return;
         };
+        // A mid-run allocation change abandons the rest of the planned run:
+        // roll the operator back to the consumption point first so the
+        // change observes exactly the single-step-protocol state.
+        if q.run.has_pending() {
+            q.op.sync_run(&q.run);
+            q.run.clear();
+        }
         q.op.set_allocation(new);
         q.granted = new;
         if new > 0 && q.first_admit.is_none() {
@@ -721,17 +813,30 @@ impl Simulator {
 
     // ----- Query manager --------------------------------------------------
 
-    /// Advance a query's operator until it blocks on a resource, parks,
-    /// or finishes. The query stays in its slab slot throughout — the seed
-    /// implementation moved it out of (and back into) a `BTreeMap` on every
-    /// call, i.e. on every CPU and disk completion.
+    /// Advance a query until it blocks on a resource, parks, or finishes —
+    /// by draining its operator's planned [`ActionRun`]. The operator state
+    /// machine is re-entered only at run boundaries (`plan_run` refills the
+    /// buffer, `RUN_BATCH` actions at a time); per-completion stepping is a
+    /// buffer pop plus the dispatch below. A reallocation landing mid-run
+    /// abandons the rest of the buffer (`apply_grant` syncs the operator
+    /// back to the consumption point first), so the action stream is
+    /// identical to single-stepping — `tests/golden_report.rs` pins that
+    /// end to end.
     fn drive(&mut self, now: SimTime, id: QueryId) {
         let Some(slot) = self.live.slot_of(id) else {
             return;
         };
         for _ in 0..10_000_000u64 {
             let q = self.live.slot_mut(slot);
-            match q.op.step() {
+            let action = match q.run.pop() {
+                Some(a) => a,
+                None => {
+                    let LiveQuery { op, run, .. } = q;
+                    op.plan_run(run);
+                    run.pop().expect("planned run is never empty")
+                }
+            };
+            match action {
                 Action::Cpu(instr) => {
                     q.waiting = Waiting::Cpu;
                     let deadline = q.deadline;
@@ -741,39 +846,47 @@ impl Simulator {
                 Action::Io(req) => {
                     q.waiting = Waiting::Disk;
                     let deadline = q.deadline;
-                    let file = q.resolve(req.file);
-                    let meta = self.layout.meta(file);
+                    let place = *q.resolve(req.file);
                     let cylinder = self.cfg.resources.geometry.cylinder_of(
-                        meta.start_cylinder,
-                        req.first_page % meta.pages.max(1),
+                        place.start_cylinder,
+                        req.first_page % place.pages.max(1),
                     );
                     let access = Access {
                         owner: id.0,
-                        file,
+                        file: place.file,
                         first_page: req.first_page,
                         pages: req.pages,
                         kind: req.kind,
                         prefetch: req.prefetch,
                         cylinder,
                     };
-                    let d = meta.disk.0 as usize;
+                    let d = place.disk as usize;
                     self.disks.disk_mut(d).enqueue(deadline, access);
                     self.pump_disk(now, d);
                     return;
                 }
                 Action::CreateTemp { slot: temp, pages } => {
                     let file = self.layout.create_temp(pages);
-                    self.live.slot_mut(slot).temps.insert(temp, file);
+                    let place = PlacedFile::new(file, self.layout.meta(file));
+                    let temps = &mut self.live.slot_mut(slot).temps;
+                    match temps.iter_mut().find(|(s, _)| *s == temp) {
+                        Some(entry) => entry.1 = place,
+                        None => temps.push((temp, place)),
+                    }
                 }
                 Action::DropTemp { slot: temp } => {
-                    if let Some(file) = self.live.slot_mut(slot).temps.remove(&temp) {
-                        let meta = self.layout.meta(file);
-                        self.disks.disk_mut(meta.disk.0 as usize).invalidate(file);
-                        self.layout.drop_temp(file);
+                    let temps = &mut self.live.slot_mut(slot).temps;
+                    if let Some(at) = temps.iter().position(|(s, _)| *s == temp) {
+                        let (_, place) = temps.swap_remove(at);
+                        self.disks
+                            .disk_mut(place.disk as usize)
+                            .invalidate(place.file);
+                        self.layout.drop_temp(place.file);
                     }
                 }
                 Action::Parked => {
                     q.waiting = Waiting::Nothing;
+                    q.run.clear();
                     return;
                 }
                 Action::Finished => {
@@ -837,10 +950,11 @@ impl Simulator {
         }
         // In-flight disk access (if any) completes harmlessly: its owner is
         // gone and `on_disk_done` routes nowhere.
-        for (_, file) in q.temps.iter() {
-            let meta = self.layout.meta(*file);
-            self.disks.disk_mut(meta.disk.0 as usize).invalidate(*file);
-            self.layout.drop_temp(*file);
+        for &(_, place) in q.temps.iter() {
+            self.disks
+                .disk_mut(place.disk as usize)
+                .invalidate(place.file);
+            self.layout.drop_temp(place.file);
         }
         self.record_served(now, &q, true);
         self.reallocate(now);
@@ -853,10 +967,11 @@ impl Simulator {
             self.cal.cancel(handle);
         }
         // Operators drop their temps themselves; clean any leftovers.
-        for (_, file) in q.temps.iter() {
-            let meta = self.layout.meta(*file);
-            self.disks.disk_mut(meta.disk.0 as usize).invalidate(*file);
-            self.layout.drop_temp(*file);
+        for &(_, place) in q.temps.iter() {
+            self.disks
+                .disk_mut(place.disk as usize)
+                .invalidate(place.file);
+            self.layout.drop_temp(place.file);
         }
         let missed_soft = !self.cfg.firm_deadlines && now > q.deadline;
         self.record_served(now, &q, missed_soft);

@@ -13,12 +13,51 @@
 //! time), schedules the completion on its calendar, and calls
 //! [`Disk::finish`] when the event fires.
 
-use crate::geometry::DiskGeometry;
+use crate::geometry::{DiskGeometry, ServiceTable};
 use crate::layout::FileId;
 use crate::queue::{DiskQueue, QueuedRequest};
 use simkit::metrics::Utilization;
 use simkit::{Duration, SimTime};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-xor hasher for the cache index: the key space is
+/// tiny fixed-width integers, where SipHash's per-probe cost dominated the
+/// read-service hot path. Only used where iteration order is never
+/// observed (pure point lookups), so swapping the hasher cannot move a
+/// simulated event.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+/// Knuth's multiplicative constant (golden-ratio based).
+const FAST_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for FastHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FAST_SEED);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(FAST_SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits (the map's bucket index) mix.
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(FAST_SEED);
+        h ^ (h >> 29)
+    }
+}
+
+/// `HashMap` with [`FastHasher`], for order-insensitive point lookups.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Whether an access reads or writes the media.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,17 +107,83 @@ struct LruNode {
     next: u32,
 }
 
+/// Key → slot index of the LRU order, sized to the cache it serves: at the
+/// paper's 5-line capacity a linear scan over a flat pair vector wins (the
+/// profile showed even a fast-hashed map dominating the read-service path);
+/// larger caches keep the hashed index so big-cache experiments stay O(1).
+/// Both arms are pinned against the same reference model by
+/// `crates/storage/tests/lru_model.rs` (paper size *and* stress shapes).
+#[derive(Debug)]
+enum KeyIndex {
+    /// Small capacity: flat `(key, slot)` pairs, scanned.
+    Small(Vec<(CacheKey, u32)>),
+    /// Large capacity: hashed point lookups.
+    Hashed(FastMap<CacheKey, u32>),
+}
+
+impl KeyIndex {
+    /// Largest capacity (entries) served by the linear index.
+    const SMALL_MAX: usize = 32;
+
+    fn with_capacity(entries: usize) -> Self {
+        if entries <= Self::SMALL_MAX {
+            KeyIndex::Small(Vec::with_capacity(entries + 1))
+        } else {
+            KeyIndex::Hashed(FastMap::default())
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            KeyIndex::Small(v) => v.len(),
+            KeyIndex::Hashed(m) => m.len(),
+        }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<u32> {
+        match self {
+            KeyIndex::Small(v) => v.iter().find(|(k, _)| k == key).map(|&(_, slot)| slot),
+            KeyIndex::Hashed(m) => m.get(key).copied(),
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, slot: u32) {
+        match self {
+            KeyIndex::Small(v) => {
+                debug_assert!(!v.iter().any(|(k, _)| *k == key));
+                v.push((key, slot));
+            }
+            KeyIndex::Hashed(m) => {
+                m.insert(key, slot);
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &CacheKey) {
+        match self {
+            KeyIndex::Small(v) => {
+                if let Some(at) = v.iter().position(|(k, _)| k == key) {
+                    v.swap_remove(at);
+                }
+            }
+            KeyIndex::Hashed(m) => {
+                m.remove(key);
+            }
+        }
+    }
+}
+
 /// Indexed LRU order: a doubly-linked list over a slab of nodes plus a
-/// hash index from key to slot. Every operation the prefetch cache needs —
-/// membership, move-to-back, insert, evict-front, retain — is O(1) (retain
-/// is O(len)), replacing the `VecDeque::contains` / `position` linear scans
-/// that ran on every read service. At the paper's 5-line capacity the scan
-/// was harmless; an indexed order keeps larger-cache experiments honest.
-/// The observable order semantics are *identical* to the deque version —
-/// `crates/storage/tests/lru_model.rs` pins that against a reference model.
-#[derive(Debug, Default)]
+/// capacity-sized [`KeyIndex`] from key to slot. Every operation the
+/// prefetch cache needs — membership, move-to-back, insert, evict-front,
+/// retain — is O(1) in the list (retain is O(len)), replacing the
+/// `VecDeque::contains` / `position` linear scans that ran on every read
+/// service. The observable order semantics are *identical* to the deque
+/// version — `crates/storage/tests/lru_model.rs` pins that against a
+/// reference model.
+#[derive(Debug)]
 struct IndexedLru {
-    index: HashMap<CacheKey, u32>,
+    index: KeyIndex,
     nodes: Vec<LruNode>,
     free: Vec<u32>,
     /// Least-recently-used end (the eviction victim).
@@ -88,9 +193,9 @@ struct IndexedLru {
 }
 
 impl IndexedLru {
-    fn new() -> Self {
+    fn new(capacity_entries: usize) -> Self {
         IndexedLru {
-            index: HashMap::new(),
+            index: KeyIndex::with_capacity(capacity_entries),
             nodes: Vec::new(),
             free: Vec::new(),
             head: LRU_NIL,
@@ -103,7 +208,7 @@ impl IndexedLru {
     }
 
     fn contains(&self, key: &CacheKey) -> bool {
-        self.index.contains_key(key)
+        self.index.get(key).is_some()
     }
 
     /// Detach `slot` from the list (it stays allocated).
@@ -136,7 +241,7 @@ impl IndexedLru {
 
     /// Move `key` to the MRU end if present.
     fn touch(&mut self, key: &CacheKey) {
-        if let Some(&slot) = self.index.get(key) {
+        if let Some(slot) = self.index.get(key) {
             self.unlink(slot);
             self.link_back(slot);
         }
@@ -145,7 +250,7 @@ impl IndexedLru {
     /// Insert `key` at the MRU end (moving it there if already present —
     /// the deque version's remove + push_back).
     fn insert_back(&mut self, key: CacheKey) {
-        if let Some(&slot) = self.index.get(&key) {
+        if let Some(slot) = self.index.get(&key) {
             self.unlink(slot);
             self.link_back(slot);
             return;
@@ -212,10 +317,11 @@ impl PrefetchCache {
     /// lines (256 KB / 8 KB = 32 pages = 5 whole 6-page blocks).
     pub fn new(capacity_pages: u32, block_pages: u32) -> Self {
         assert!(block_pages > 0);
+        let capacity_blocks = (capacity_pages / block_pages).max(1) as usize;
         PrefetchCache {
-            capacity_blocks: (capacity_pages / block_pages).max(1) as usize,
+            capacity_blocks,
             block_pages,
-            lru: IndexedLru::new(),
+            lru: IndexedLru::new(capacity_blocks),
             hits: 0,
             misses: 0,
         }
@@ -287,6 +393,9 @@ pub enum Service {
 /// One disk: queue + head + cache + utilization accounting.
 pub struct Disk {
     geometry: DiskGeometry,
+    /// Memoized seek/rotation/transfer components (kills the per-access
+    /// `sqrt` and float-tick roundings; bit-equal to the direct math).
+    service_table: ServiceTable,
     queue: DiskQueue<Access>,
     head: u32,
     busy: bool,
@@ -300,6 +409,7 @@ impl Disk {
     pub fn new(geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
         Disk {
             geometry,
+            service_table: ServiceTable::new(&geometry),
             queue: DiskQueue::new(),
             head: 0,
             busy: false,
@@ -367,7 +477,9 @@ impl Disk {
                     access.pages.max(1)
                 };
                 let dist = self.head.abs_diff(access.cylinder);
-                let time = self.geometry.access_time(dist, fetch_pages);
+                let time =
+                    self.service_table
+                        .access_time(&self.geometry, dist, fetch_pages);
                 if access.prefetch {
                     let bp = self.cache.block_pages;
                     self.cache.insert(
@@ -383,7 +495,11 @@ impl Disk {
             }
             IoKind::Write => {
                 let dist = self.head.abs_diff(access.cylinder);
-                let time = self.geometry.access_time(dist, access.pages.max(1));
+                let time = self.service_table.access_time(
+                    &self.geometry,
+                    dist,
+                    access.pages.max(1),
+                );
                 Service::Media {
                     time,
                     new_head: access.cylinder,

@@ -96,6 +96,80 @@ impl DiskGeometry {
     }
 }
 
+/// Sentinel marking a [`ServiceTable`] entry as not yet computed. A real
+/// service component can never reach it (it would be a ~585-millennia
+/// seek).
+const UNFILLED: Duration = Duration(u64::MAX);
+
+/// Memoized service-time components for one disk's geometry.
+///
+/// `DiskGeometry::access_time` runs a `sqrt` (seek) plus three
+/// float-to-tick roundings per media access; every distinct cylinder
+/// distance and transfer length maps to a fixed [`Duration`], so the disk
+/// hot path fills this table lazily and then serves lookups. Entries are
+/// produced by *the same expressions* as the direct computation — bit-equal
+/// `Duration`s, pinned by `service_table_matches_direct_computation` across
+/// the full cylinder range — which keeps simulation behavior identical.
+#[derive(Debug)]
+pub struct ServiceTable {
+    /// Seek time by cylinder distance (index 0 = on-cylinder = zero).
+    seek: Vec<Duration>,
+    /// Transfer time by page count, for the small counts accesses use.
+    transfer: Vec<Duration>,
+    /// Constant expected rotational delay.
+    rotation: Duration,
+}
+
+impl ServiceTable {
+    /// Transfer lengths memoized directly; longer transfers (never produced
+    /// by block-sized operator I/O) fall back to the direct computation.
+    const MAX_TRANSFER_PAGES: usize = 64;
+
+    /// An empty (all-lazy) table for `geometry`.
+    pub fn new(geometry: &DiskGeometry) -> Self {
+        ServiceTable {
+            seek: vec![UNFILLED; geometry.num_cylinders as usize],
+            transfer: vec![UNFILLED; Self::MAX_TRANSFER_PAGES + 1],
+            rotation: geometry.rotational_delay(),
+        }
+    }
+
+    /// Memoized [`DiskGeometry::seek_time`].
+    pub fn seek_time(&mut self, geometry: &DiskGeometry, cylinders: u32) -> Duration {
+        let Some(slot) = self.seek.get_mut(cylinders as usize) else {
+            return geometry.seek_time(cylinders);
+        };
+        if *slot == UNFILLED {
+            *slot = geometry.seek_time(cylinders);
+        }
+        *slot
+    }
+
+    /// Memoized [`DiskGeometry::transfer_time`].
+    pub fn transfer_time(&mut self, geometry: &DiskGeometry, pages: u32) -> Duration {
+        let Some(slot) = self.transfer.get_mut(pages as usize) else {
+            return geometry.transfer_time(pages);
+        };
+        if *slot == UNFILLED {
+            *slot = geometry.transfer_time(pages);
+        }
+        *slot
+    }
+
+    /// Memoized [`DiskGeometry::access_time`]: identical sum of identical
+    /// components.
+    pub fn access_time(
+        &mut self,
+        geometry: &DiskGeometry,
+        cyl_distance: u32,
+        pages: u32,
+    ) -> Duration {
+        self.seek_time(geometry, cyl_distance)
+            + self.rotation
+            + self.transfer_time(geometry, pages)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +218,51 @@ mod tests {
         let g = DiskGeometry::default();
         let t = g.access_time(10, 6).as_secs_f64();
         assert!((0.024..0.030).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn service_table_matches_direct_computation() {
+        // The memoized service math must return the exact `Duration` bits
+        // of the direct computation for every reachable cylinder distance
+        // and the transfer lengths block-sized I/O produces — including
+        // past the memoized transfer range (fallback path) and on repeated
+        // (now cached) lookups.
+        let g = DiskGeometry::default();
+        let mut table = ServiceTable::new(&g);
+        for dist in 0..g.num_cylinders {
+            assert_eq!(
+                table.seek_time(&g, dist),
+                g.seek_time(dist),
+                "seek mismatch at distance {dist}"
+            );
+            assert_eq!(
+                table.seek_time(&g, dist),
+                g.seek_time(dist),
+                "cached seek mismatch at distance {dist}"
+            );
+        }
+        for pages in 1..=(2 * ServiceTable::MAX_TRANSFER_PAGES as u32) {
+            assert_eq!(
+                table.transfer_time(&g, pages),
+                g.transfer_time(pages),
+                "transfer mismatch at {pages} pages"
+            );
+        }
+        for dist in [0, 1, 7, 99, 1499] {
+            for pages in [1, 2, 6, 12] {
+                assert_eq!(
+                    table.access_time(&g, dist, pages),
+                    g.access_time(dist, pages),
+                    "access mismatch at ({dist}, {pages})"
+                );
+            }
+        }
+        // Distances beyond the table (not produced by a real disk, but the
+        // API accepts them) fall back to the direct math.
+        assert_eq!(
+            table.seek_time(&g, g.num_cylinders + 5),
+            g.seek_time(g.num_cylinders + 5)
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub mod geometry;
 pub mod layout;
 pub mod queue;
 
-pub use disk::{Access, Disk, DiskFarm, IoKind, PrefetchCache, Service};
-pub use geometry::DiskGeometry;
+pub use disk::{
+    Access, Disk, DiskFarm, FastHasher, FastMap, IoKind, PrefetchCache, Service,
+};
+pub use geometry::{DiskGeometry, ServiceTable};
 pub use layout::{DiskId, FileId, FileMeta, Layout, RelationGroupSpec, RelationMeta};
 pub use queue::{DiskQueue, QueuedRequest};
