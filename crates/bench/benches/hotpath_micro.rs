@@ -9,6 +9,10 @@
 //! the event loop, and keep `BENCH_perf.json` (the driver's events/sec
 //! reading) moving in the same direction.
 
+// The allocating-vs-`_into` comparison benches intentionally drive the
+// deprecated wrappers: the allocation saving is the point being measured.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmm_core::exec::{Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator};
 use pmm_core::pmm::{

@@ -13,7 +13,8 @@
 //! cargo run --release -p bench --bin experiments -- --figure all --smoke
 //! ```
 //!
-//! Flags: `--figure <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|all>`
+//! Flags: `--figure
+//! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|all>`
 //! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
 //! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
 //! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
@@ -31,7 +32,10 @@
 //! per-tenant-adaptive `PMM-tenant`, with per-tenant quota-utilization /
 //! borrow-volume aggregates in each cell's `tenants` array. `fig12` cells
 //! carry the merged per-window miss-ratio series (with 90% CIs across
-//! seeds) in their `windows` array.
+//! seeds) in their `windows` array. `--figure devices` crosses the storage
+//! service models (cylinder disk vs. SSD) with the buffer-pool eviction
+//! policies (LRU vs. LRU-2) at two baseline arrival rates; each cell's
+//! policy name reads `"<device>+<eviction>/<policy>"`.
 //!
 //! **Report mode** (positional artifact name): the original single-seed
 //! text reports in the paper's layout.

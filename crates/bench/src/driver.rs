@@ -24,10 +24,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Names of the figure experiments the driver knows how to shard. Beyond
-/// the paper's figures, `burst` sweeps MMPP burst ratios and `tenants`
-/// sweeps multi-tenant quota splits.
-pub const FIGURES: [&str; 8] = [
-    "fig3", "fig8", "fig11", "fig12", "fig16", "fig17", "burst", "tenants",
+/// the paper's figures, `burst` sweeps MMPP burst ratios, `tenants` sweeps
+/// multi-tenant quota splits, and `devices` crosses the storage service
+/// models with the buffer-pool eviction policies.
+pub const FIGURES: [&str; 9] = [
+    "fig3", "fig8", "fig11", "fig12", "fig16", "fig17", "burst", "tenants", "devices",
 ];
 
 /// Two-sided 90% Student-t quantile (`t_{0.95, df}`) for the given degrees
@@ -137,6 +138,24 @@ pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
             x_label: "analytics-tenant memory fraction",
             cells: cross(&crate::TENANT_FRACTIONS, &crate::TENANT_POLICIES),
         },
+        "devices" => FigureSpec {
+            name: "devices",
+            x_label: "arrival rate (queries/s)",
+            // Every device × eviction combination under every policy; the
+            // combo rides in the cell's policy name ("ssd+lruk/PMM") and is
+            // split back out by `apply_device_cell` when the cell runs.
+            cells: crate::DEVICE_RATES
+                .iter()
+                .flat_map(|&x| {
+                    crate::DEVICE_COMBOS.iter().flat_map(move |&combo| {
+                        crate::DEVICE_POLICIES.iter().map(move |&p| CellSpec {
+                            x,
+                            policy: format!("{combo}/{p}"),
+                        })
+                    })
+                })
+                .collect(),
+        },
         other => {
             return Err(format!(
                 "unknown figure {other:?}; known figures: {}",
@@ -163,6 +182,9 @@ fn cell_config(figure: &str, x: f64) -> SimConfig {
         "fig17" => SimConfig::multiclass(x),
         "burst" => SimConfig::bursty(x),
         "tenants" => SimConfig::multi_tenant(x),
+        // The device/eviction choice is per cell, not per figure: it is
+        // applied from the cell's policy name by `apply_device_cell`.
+        "devices" => SimConfig::baseline(x),
         other => unreachable!("figure_spec admitted unknown figure {other}"),
     }
 }
@@ -491,6 +513,16 @@ pub fn replication_seed(master_seed: u64, rep: u64) -> u64 {
 /// valid configs).
 pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, String> {
     let spec = figure_spec(figure)?;
+    // Reject degenerate configs before any replication spawns: every cell's
+    // fully-resolved config (device and eviction applied) must validate.
+    for cell in &spec.cells {
+        let mut sim = cell_config(spec.name, cell.x);
+        sim.duration_secs = cfg.secs;
+        let (sim, _) = crate::apply_device_cell(sim, &cell.policy);
+        sim.validate().map_err(|e| {
+            format!("invalid config for {figure} cell {:?}: {e}", cell.policy)
+        })?;
+    }
     let seeds: Vec<u64> = (0..cfg.seeds)
         .map(|rep| replication_seed(cfg.master_seed, rep))
         .collect();
@@ -513,7 +545,10 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         // Traces are per cell, not per replication: replication 0 is the
         // canonical recording (its seed derivation is stable).
         sim.record_arrivals = cfg.record_arrivals && s == 0;
-        let policy = make_policy_for(&sim, &cell.policy);
+        // Device-sweep cells fold a device × eviction choice into the
+        // policy name; all other cells pass through unchanged.
+        let (sim, policy_name) = crate::apply_device_cell(sim, &cell.policy);
+        let policy = make_policy_for(&sim, &policy_name);
         let started = std::time::Instant::now();
         let report = run_simulation(sim, policy);
         let wall = started.elapsed().as_secs_f64();
@@ -817,6 +852,53 @@ mod tests {
             assert!(!spec.cells.is_empty(), "{f} has cells");
         }
         assert!(figure_spec("fig99").is_err());
+    }
+
+    #[test]
+    fn devices_figure_crosses_devices_evictions_and_policies() {
+        let spec = figure_spec("devices").expect("known figure");
+        assert_eq!(
+            spec.cells.len(),
+            crate::DEVICE_RATES.len()
+                * crate::DEVICE_COMBOS.len()
+                * crate::DEVICE_POLICIES.len()
+        );
+        // Every cell name splits back into a device, an eviction policy,
+        // and a known allocation policy.
+        for cell in &spec.cells {
+            let (_, _, p) =
+                crate::split_device_cell(&cell.policy).expect("device cell name");
+            assert!(crate::DEVICE_POLICIES.contains(&p), "known policy {p}");
+        }
+        // The acceptance grid is present: cylinder vs SSD × LRU vs LRU-K.
+        for combo in crate::DEVICE_COMBOS {
+            assert!(
+                spec.cells.iter().any(|c| c.policy.starts_with(combo)),
+                "combo {combo} covered"
+            );
+        }
+    }
+
+    #[test]
+    fn run_figure_validates_cells_before_spawning() {
+        // All shipped figures pass validation with sane driver settings...
+        for f in FIGURES {
+            let spec = figure_spec(f).expect("known figure");
+            for cell in &spec.cells {
+                let mut sim = cell_config(spec.name, cell.x);
+                sim.duration_secs = 600.0;
+                let (sim, _) = crate::apply_device_cell(sim, &cell.policy);
+                sim.validate().expect("shipped cells validate");
+            }
+        }
+        // ...and a degenerate duration is rejected up front, not mid-run.
+        let cfg = DriverConfig {
+            seeds: 1,
+            secs: 0.0,
+            ..DriverConfig::default()
+        };
+        let err = run_figure("fig3", cfg).expect_err("zero duration rejected");
+        assert!(err.contains("invalid config"), "got: {err}");
     }
 
     #[test]

@@ -49,12 +49,18 @@ pub fn make_policy(name: &str) -> Box<dyn MemoryPolicy> {
 /// declared (hard unless the spec says otherwise), `"Partitioned-soft"`
 /// lets every partition borrow idle pages, and `"PMM-tenant"` /
 /// `"PMM-tenant-regime"` run one (optionally regime-aware) PMM controller
-/// per partition (PMM v2). All other names defer to [`make_policy`].
+/// per partition (PMM v2). Device-sweep cell names
+/// (`"<combo>/<policy>"`, see [`split_device_cell`]) resolve to their
+/// inner allocation policy — the device part only shapes the config. All
+/// other names defer to [`make_policy`].
 ///
 /// # Panics
 /// Panics on an unknown name, or a tenant-aware name against a config
 /// with no tenants.
 pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
+    if let Some((_, _, policy)) = split_device_cell(name) {
+        return make_policy_for(cfg, policy);
+    }
     let partitions = || -> Vec<PartitionSpec> {
         assert!(
             !cfg.tenants.is_empty(),
@@ -126,6 +132,50 @@ pub const BURST_RATIOS: [f64; 4] = [1.0, 4.0, 8.0, 16.0];
 /// v1 PMM (stationary projection), and the regime-aware v2 variant that
 /// segments its learned batches at detected MMPP state switches.
 pub const BURST_POLICIES: [&str; 4] = ["Max", "MinMax", "PMM", "PMM-regime"];
+/// Arrival rates of the device sweep: one below and one above the
+/// cylinder disk's saturation knee, so the SSD's headroom is visible.
+pub const DEVICE_RATES: [f64; 2] = [0.05, 0.07];
+/// Device × eviction combinations of the device sweep.
+pub const DEVICE_COMBOS: [&str; 4] = ["cyl+lru", "cyl+lruk", "ssd+lru", "ssd+lruk"];
+/// The allocation policies crossed with each device combination.
+pub const DEVICE_POLICIES: [&str; 3] = ["Max", "MinMax", "PMM"];
+/// History depth of the LRU-K cells in the device sweep (LRU-2, the
+/// classic O'Neil et al. setting).
+pub const DEVICE_LRUK_K: u32 = 2;
+
+/// Split a device-sweep cell name `"<combo>/<policy>"` (e.g.
+/// `"ssd+lruk/PMM"`) into its device, eviction policy, and allocation
+/// policy name. Returns `None` for plain policy names, which keeps every
+/// other figure's cells flowing through untouched.
+pub fn split_device_cell(name: &str) -> Option<(DeviceSpec, EvictionSpec, &str)> {
+    let (combo, policy) = name.split_once('/')?;
+    let (device, eviction) = combo.split_once('+')?;
+    let device = match device {
+        "cyl" => DeviceSpec::Cylinder,
+        "ssd" => DeviceSpec::Ssd(SsdSpec::default()),
+        _ => return None,
+    };
+    let eviction = match eviction {
+        "lru" => EvictionSpec::Lru,
+        "lruk" => EvictionSpec::LruK { k: DEVICE_LRUK_K },
+        _ => return None,
+    };
+    Some((device, eviction, policy))
+}
+
+/// Apply a device-sweep cell name to a config: returns the config with the
+/// cell's device and eviction policy installed, plus the allocation-policy
+/// name left over. Non-device names pass through as the identity.
+pub fn apply_device_cell(cfg: SimConfig, name: &str) -> (SimConfig, String) {
+    match split_device_cell(name) {
+        Some((device, eviction, policy)) => (
+            cfg.with_device(device).with_eviction(eviction),
+            policy.to_string(),
+        ),
+        None => (cfg, name.to_string()),
+    }
+}
+
 /// Analytics-tenant memory fractions of the multi-tenant sweep.
 pub const TENANT_FRACTIONS: [f64; 3] = [0.25, 0.5, 0.75];
 /// The policies of the multi-tenant experiment: a shared pool as the
@@ -322,6 +372,49 @@ mod tests {
     #[should_panic(expected = "needs tenants")]
     fn make_policy_for_rejects_partitioned_without_tenants() {
         make_policy_for(&SimConfig::baseline(0.05), "Partitioned");
+    }
+
+    #[test]
+    fn device_cell_names_round_trip() {
+        use pmm_core::storage::{DeviceSpec, EvictionSpec};
+        let (dev, ev, p) = split_device_cell("ssd+lruk/PMM").expect("device cell");
+        assert!(matches!(dev, DeviceSpec::Ssd(_)));
+        assert_eq!(ev, EvictionSpec::LruK { k: DEVICE_LRUK_K });
+        assert_eq!(p, "PMM");
+        let (dev, ev, p) = split_device_cell("cyl+lru/MinMax").expect("device cell");
+        assert_eq!(dev, DeviceSpec::Cylinder);
+        assert_eq!(ev, EvictionSpec::Lru);
+        assert_eq!(p, "MinMax");
+        // Plain policy names and malformed combos pass through as None.
+        assert!(split_device_cell("PMM").is_none());
+        assert!(split_device_cell("MinMax-10").is_none());
+        assert!(split_device_cell("tape+lru/PMM").is_none());
+        assert!(split_device_cell("ssd+fifo/PMM").is_none());
+    }
+
+    #[test]
+    fn apply_device_cell_installs_device_and_eviction() {
+        use pmm_core::storage::{DeviceSpec, EvictionSpec};
+        let base = SimConfig::baseline(0.05);
+        let (cfg, policy) = apply_device_cell(base.clone(), "ssd+lruk/Max");
+        assert!(matches!(cfg.resources.device, DeviceSpec::Ssd(_)));
+        assert_eq!(
+            cfg.resources.eviction,
+            EvictionSpec::LruK { k: DEVICE_LRUK_K }
+        );
+        assert_eq!(policy, "Max");
+        // Identity on non-device names: config untouched, name passed back.
+        let (cfg, policy) = apply_device_cell(base, "PMM");
+        assert_eq!(cfg.resources.device, DeviceSpec::Cylinder);
+        assert_eq!(cfg.resources.eviction, EvictionSpec::Lru);
+        assert_eq!(policy, "PMM");
+    }
+
+    #[test]
+    fn make_policy_for_resolves_device_cell_names() {
+        let cfg = SimConfig::baseline(0.05);
+        assert_eq!(make_policy_for(&cfg, "ssd+lruk/PMM").name(), "PMM");
+        assert_eq!(make_policy_for(&cfg, "cyl+lru/MinMax").name(), "MinMax");
     }
 
     #[test]

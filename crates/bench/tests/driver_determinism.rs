@@ -129,6 +129,54 @@ fn tenant_and_regime_cells_are_emitted() {
     assert!(!burst_json.contains("\"tenants\":["));
 }
 
+/// The device sweep obeys the same contract: merged JSON — across the
+/// cylinder-vs-SSD service models and the LRU-vs-LRU-K buffer pools — is
+/// byte-identical across thread counts, and the grid's cells all appear.
+#[test]
+fn devices_json_matches_serial_and_covers_grid() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 200.0,
+        master_seed: 1994,
+        ..DriverConfig::default()
+    };
+    let serial = run_figure("devices", base).expect("serial run");
+    let parallel =
+        run_figure("devices", DriverConfig { threads: 4, ..base }).expect("parallel");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "devices: 4-thread JSON must match the serial run"
+    );
+    for combo in bench::DEVICE_COMBOS {
+        for policy in bench::DEVICE_POLICIES {
+            let name = format!("{combo}/{policy}");
+            assert!(
+                serial.cells.iter().any(|c| c.policy == name),
+                "cell {name} present"
+            );
+        }
+    }
+    // The SSD's service times are a different distribution from the
+    // cylinder disk's, so identical cells would mean the device spec was
+    // dropped somewhere along the config plumbing.
+    let json = serial.to_json();
+    assert!(json.contains("\"policy\":\"ssd+lruk/PMM\""), "{json}");
+    let cell = |name: &str| {
+        serial
+            .cells
+            .iter()
+            .find(|c| c.policy == name && c.x == 0.07)
+            .expect("grid cell")
+    };
+    assert_ne!(
+        cell("cyl+lru/PMM").disk_util.mean,
+        cell("ssd+lru/PMM").disk_util.mean,
+        "SSD cells must not replicate the cylinder disk's utilization"
+    );
+}
+
 /// `--record-arrivals`: replication 0's gaps are captured per cell and
 /// class, replay exactly through `workload::Trace`, and do not perturb the
 /// merged JSON.

@@ -33,11 +33,13 @@ pub mod prelude {
         PmmParams, ProportionalPolicy, StrategyMode, TenantPmm,
     };
     pub use rtdbs::{
-        run_simulation, PhaseSchedule, QueryType, ResourceConfig, RunReport, SimConfig,
-        WorkloadClass,
+        run_simulation, ConfigError, PhaseSchedule, QueryType, ResourceConfig, RunReport,
+        SimConfig, WorkloadClass,
     };
     pub use simkit::{Duration, SimTime};
-    pub use storage::{DiskGeometry, RelationGroupSpec};
+    pub use storage::{
+        DeviceSpec, DiskGeometry, EvictionSpec, RelationGroupSpec, SsdSpec,
+    };
     pub use workload::{
         AlternationSchedule, ArrivalProcess, ArrivalSpec, Scenario, TenantSpec,
     };

@@ -22,4 +22,4 @@ pub mod standalone;
 pub use hashjoin::HashJoin;
 pub use op::{Action, ActionRun, ExecConfig, FileRef, IoRequest, Operator, RUN_BATCH};
 pub use sort::ExternalSort;
-pub use standalone::{standalone_time, Placement};
+pub use standalone::{standalone_time, standalone_time_on, Placement};

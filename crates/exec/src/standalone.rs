@@ -20,7 +20,7 @@
 use crate::op::{Action, FileRef, Operator};
 use simkit::Duration;
 use std::collections::HashMap;
-use storage::{DiskGeometry, DiskId};
+use storage::{DeviceSpec, DiskGeometry, DiskId, ServiceModel};
 
 /// Resolves an operator-visible file to its physical placement.
 pub trait Placement {
@@ -35,8 +35,11 @@ impl<F: FnMut(FileRef) -> (DiskId, u32)> Placement for F {
 }
 
 /// Estimate the stand-alone execution time of `op` at its current
-/// allocation (callers wanting the paper's definition grant the maximum
-/// first).
+/// allocation on the paper's cylinder disk (callers wanting the paper's
+/// definition grant the maximum allocation first). Thin wrapper over
+/// [`standalone_time_on`] with [`DeviceSpec::Cylinder`] — bit-identical to
+/// the seed computation (the memoized service math is pinned bit-equal to
+/// the direct geometry expressions).
 ///
 /// # Panics
 /// Panics if the operator parks (stand-alone execution never suspends) or
@@ -47,9 +50,32 @@ pub fn standalone_time<P: Placement>(
     placement: &mut P,
     cpu_mips: f64,
 ) -> Duration {
+    standalone_time_on(op, &DeviceSpec::Cylinder, geometry, placement, cpu_mips)
+}
+
+/// Estimate the stand-alone execution time of `op` on `device`.
+///
+/// Each disk the query touches gets a fresh service model whose positional
+/// state starts where the query's first access lands (no initial-seek
+/// charge — the seed's `or_insert` head semantics). The queue-depth hint is
+/// 0: a stand-alone query has nothing stacked behind its requests, so an
+/// SSD charges full per-op latency. Deadlines derived from this estimate
+/// therefore shrink along with execution times when the device is faster —
+/// the slack *ratio* stays the paper's.
+///
+/// # Panics
+/// Panics if the operator parks (stand-alone execution never suspends) or
+/// fails to finish within a very generous step bound.
+pub fn standalone_time_on<P: Placement>(
+    op: &mut dyn Operator,
+    device: &DeviceSpec,
+    geometry: &DiskGeometry,
+    placement: &mut P,
+    cpu_mips: f64,
+) -> Duration {
     assert!(cpu_mips > 0.0, "MIPS rating must be positive");
     let mut total = Duration::ZERO;
-    let mut heads: HashMap<DiskId, u32> = HashMap::new();
+    let mut models: HashMap<DiskId, Box<dyn ServiceModel>> = HashMap::new();
     let mut temp_sizes: HashMap<u32, u32> = HashMap::new();
     for _ in 0..50_000_000u64 {
         match op.step() {
@@ -59,13 +85,15 @@ pub fn standalone_time<P: Placement>(
             Action::Io(io) => {
                 let (disk, start_cyl) = placement.resolve(io.file);
                 let cyl = geometry.cylinder_of(start_cyl, io.first_page);
-                let head = heads.entry(disk).or_insert(cyl);
-                let dist = head.abs_diff(cyl);
-                *head = cyl;
+                let model = models.entry(disk).or_insert_with(|| {
+                    let mut m = device.build(geometry);
+                    m.park_at(cyl);
+                    m
+                });
                 // Prefetch rounds a partial-block read up to whole blocks,
                 // matching the disk model.
                 let pages = io.pages.max(1);
-                total += geometry.access_time(dist, pages);
+                total += model.access_time(cyl, pages, io.kind, 0);
             }
             Action::CreateTemp { slot, pages } => {
                 temp_sizes.insert(slot, pages);
@@ -156,6 +184,57 @@ mod tests {
         b.set_allocation(600);
         let fast = standalone_time(&mut b, &g, &mut flat_placement(), 400.0);
         assert!(fast < slow);
+    }
+
+    #[test]
+    fn cylinder_wrapper_is_bit_equal_to_device_path() {
+        // `standalone_time` must stay the seed computation exactly: the
+        // deadline of every simulated query rides on it.
+        let cfg = ExecConfig::default();
+        let g = DiskGeometry::default();
+        let mut a =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        a.set_allocation(a.max_memory());
+        let wrapped = standalone_time(&mut a, &g, &mut flat_placement(), 40.0);
+        let mut b =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        b.set_allocation(b.max_memory());
+        let explicit = standalone_time_on(
+            &mut b,
+            &DeviceSpec::Cylinder,
+            &g,
+            &mut flat_placement(),
+            40.0,
+        );
+        assert_eq!(wrapped, explicit);
+    }
+
+    #[test]
+    fn ssd_standalone_is_much_faster_than_cylinder() {
+        use storage::SsdSpec;
+        let cfg = ExecConfig::default();
+        let g = DiskGeometry::default();
+        let mut a =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        a.set_allocation(a.max_memory());
+        let t_disk = standalone_time(&mut a, &g, &mut flat_placement(), 40.0);
+        let mut b =
+            HashJoin::new(cfg, FileId::Relation(0), 1200, FileId::Relation(1), 6000);
+        b.set_allocation(b.max_memory());
+        let t_ssd = standalone_time_on(
+            &mut b,
+            &DeviceSpec::Ssd(SsdSpec::default()),
+            &g,
+            &mut flat_placement(),
+            40.0,
+        );
+        assert!(
+            t_ssd < t_disk,
+            "SSD estimate {t_ssd:?} must beat disk {t_disk:?}"
+        );
+        // I/O-bound at 40 MIPS: the device swap should shrink the total
+        // substantially, shrinking deadlines with it.
+        assert!(t_ssd.as_secs_f64() * 2.0 < t_disk.as_secs_f64());
     }
 
     #[test]

@@ -31,10 +31,7 @@
 //! mode and target kept) so the projection re-learns inside the new regime
 //! instead of mixing both.
 
-use crate::allocator::{
-    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into, AllocScratch,
-    Grants,
-};
+use crate::allocator::{max_allocate_into, minmax_allocate_into, AllocScratch, Grants};
 use crate::policy::MemoryPolicy;
 use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
 use simkit::metrics::Tally;
@@ -372,18 +369,6 @@ impl MemoryPolicy for Pmm {
             "PMM-regime".into()
         } else {
             "PMM".into()
-        }
-    }
-
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        match self.mode {
-            StrategyMode::Max => max_allocate(&snapshot.queries, snapshot.total_memory),
-            StrategyMode::MinMax => minmax_allocate(
-                &snapshot.queries,
-                snapshot.total_memory,
-                Some(self.target_mpl),
-            ),
-            StrategyMode::Proportional => unreachable!("PMM never uses Proportional"),
         }
     }
 

@@ -5,6 +5,13 @@
 //! deadline order and a query that cannot be served does not let a
 //! lower-priority query overtake it (priority inversion through memory is
 //! exactly what the paper's policies are designed to avoid).
+//!
+//! The primary entry points are the `*_allocate_into` forms, which write
+//! grants into caller-owned buffers and are allocation-free once the
+//! [`AllocScratch`] is warm — the shape the simulator's reallocation hot
+//! path needs. The allocating wrappers (`max_allocate` & co.) are
+//! deprecated: call `*_allocate_into`, or go through
+//! [`MemoryPolicy::allocate`](crate::MemoryPolicy) for one-shot use.
 
 use crate::types::{QueryDemand, QueryId};
 
@@ -42,6 +49,7 @@ impl AllocScratch {
 
 /// **Max** strategy: in ED order, each query gets its maximum demand or the
 /// admission stops. No explicit MPL limit — memory itself is the limiter.
+#[deprecated(note = "use `max_allocate_into` with caller-owned buffers")]
 pub fn max_allocate(queries: &[QueryDemand], total: u32) -> Grants {
     let mut out = Grants::new();
     max_allocate_into(queries, total, &mut AllocScratch::default(), &mut out);
@@ -73,6 +81,7 @@ pub fn max_allocate_into(
 /// admitted query its minimum; pass two tops allocations up to the maximum
 /// in ED order until memory runs out. The query on the boundary may end up
 /// anywhere between its minimum and maximum (Section 3.2).
+#[deprecated(note = "use `minmax_allocate_into` with caller-owned buffers")]
 pub fn minmax_allocate(
     queries: &[QueryDemand],
     total: u32,
@@ -128,6 +137,7 @@ pub fn minmax_allocate_into(
 /// to at least its minimum. The fraction is found by water-filling: queries
 /// whose proportional share would fall below their minimum are pinned at
 /// the minimum and the fraction is recomputed over the rest.
+#[deprecated(note = "use `proportional_allocate_into` with caller-owned buffers")]
 pub fn proportional_allocate(
     queries: &[QueryDemand],
     total: u32,
@@ -251,6 +261,7 @@ pub struct PartitionSpec {
 /// oversubscribe the pool are honored first-declared-first: each partition's
 /// reservation is capped to the pages not already reserved ahead of it, so
 /// the grants can never exceed `total`.
+#[deprecated(note = "use `partitioned_allocate_into` with caller-owned buffers")]
 pub fn partitioned_allocate(
     queries: &[QueryDemand],
     partitions: &[PartitionSpec],
@@ -469,6 +480,9 @@ fn partitioned_allocate_core(
 }
 
 #[cfg(test)]
+// The deprecated allocating wrappers stay covered until their removal —
+// these tests pin them against the `_into` forms (and each other).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use simkit::SimTime;

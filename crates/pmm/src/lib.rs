@@ -37,10 +37,16 @@ pub mod types;
 
 pub use adaptive::{Pmm, PmmParams};
 pub use allocator::{
-    max_allocate, max_allocate_clamped_into, max_allocate_into, minmax_allocate,
-    minmax_allocate_into, partitioned_allocate, partitioned_allocate_into,
-    partitioned_allocate_with_into, proportional_allocate, proportional_allocate_into,
-    AllocScratch, Grants, PartitionScratch, PartitionSpec, PartitionStrategy,
+    max_allocate_clamped_into, max_allocate_into, minmax_allocate_into,
+    partitioned_allocate_into, partitioned_allocate_with_into,
+    proportional_allocate_into, AllocScratch, Grants, PartitionScratch, PartitionSpec,
+    PartitionStrategy,
+};
+// The deprecated allocating wrappers stay exported until their removal so
+// downstream one-shot callers keep compiling (with the deprecation note).
+#[allow(deprecated)]
+pub use allocator::{
+    max_allocate, minmax_allocate, partitioned_allocate, proportional_allocate,
 };
 pub use partition::PartitionedPolicy;
 pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};

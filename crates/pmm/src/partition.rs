@@ -9,8 +9,7 @@
 //! [`crate::QueryDemand::tenant`].
 
 use crate::allocator::{
-    partitioned_allocate, partitioned_allocate_into, AllocScratch, Grants,
-    PartitionScratch, PartitionSpec,
+    partitioned_allocate_into, AllocScratch, Grants, PartitionScratch, PartitionSpec,
 };
 use crate::policy::MemoryPolicy;
 use crate::types::{StrategyMode, SystemSnapshot};
@@ -67,15 +66,6 @@ impl MemoryPolicy for PartitionedPolicy {
             Some(n) => format!("{flavor}-{n}"),
             None => flavor.into(),
         }
-    }
-
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        partitioned_allocate(
-            &snapshot.queries,
-            &self.partitions,
-            snapshot.total_memory,
-            self.limit,
-        )
     }
 
     fn allocate_into(

@@ -1,8 +1,8 @@
 //! The policy interface and the static baseline algorithms of Table 5.
 
 use crate::allocator::{
-    max_allocate, max_allocate_into, minmax_allocate, minmax_allocate_into,
-    proportional_allocate, proportional_allocate_into, AllocScratch, Grants,
+    max_allocate_into, minmax_allocate_into, proportional_allocate_into, AllocScratch,
+    Grants,
 };
 use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
 
@@ -13,22 +13,25 @@ pub trait MemoryPolicy {
     /// Short name for reports, e.g. `"MinMax-10"`.
     fn name(&self) -> String;
 
-    /// Desired allocation for every live query; omitted queries receive no
-    /// memory.
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants;
-
-    /// Allocation-free variant of [`MemoryPolicy::allocate`]: write the
-    /// grants into `out`, reusing the caller-owned `scratch` for the ED
-    /// sort. The simulator calls this on every reallocation event; policies
-    /// that don't override it fall back to the allocating path.
+    /// Desired allocation for every live query, written into `out`
+    /// (omitted queries receive no memory), reusing the caller-owned
+    /// `scratch` for the ED sort. The simulator calls this on every
+    /// reallocation event — it is the policy's primary entry point and
+    /// allocation-free in steady state.
     fn allocate_into(
         &mut self,
         snapshot: &SystemSnapshot,
         scratch: &mut AllocScratch,
         out: &mut Grants,
-    ) {
-        let _ = scratch;
-        *out = self.allocate(snapshot);
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`MemoryPolicy::allocate_into`], for tests and one-shot callers that
+    /// don't care about buffer reuse.
+    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
+        let mut out = Grants::new();
+        self.allocate_into(snapshot, &mut AllocScratch::default(), &mut out);
+        out
     }
 
     /// Batch boundary callback (adaptive policies learn here).
@@ -73,10 +76,6 @@ impl MemoryPolicy for MaxPolicy {
         "Max".into()
     }
 
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        max_allocate(&snapshot.queries, snapshot.total_memory)
-    }
-
     fn allocate_into(
         &mut self,
         snapshot: &SystemSnapshot,
@@ -115,10 +114,6 @@ impl MemoryPolicy for MinMaxPolicy {
             Some(n) => format!("MinMax-{n}"),
             None => "MinMax".into(),
         }
-    }
-
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        minmax_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
     }
 
     fn allocate_into(
@@ -168,10 +163,6 @@ impl MemoryPolicy for ProportionalPolicy {
             Some(n) => format!("Proportional-{n}"),
             None => "Proportional".into(),
         }
-    }
-
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        proportional_allocate(&snapshot.queries, snapshot.total_memory, self.limit)
     }
 
     fn allocate_into(

@@ -146,12 +146,6 @@ impl MemoryPolicy for TenantPmm {
         }
     }
 
-    fn allocate(&mut self, snapshot: &SystemSnapshot) -> Grants {
-        let mut out = Grants::new();
-        self.allocate_into(snapshot, &mut AllocScratch::default(), &mut out);
-        out
-    }
-
     fn allocate_into(
         &mut self,
         snapshot: &SystemSnapshot,

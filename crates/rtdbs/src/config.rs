@@ -8,6 +8,7 @@
 //! re-exported here for convenience.
 
 use exec::ExecConfig;
+pub use storage::{DeviceSpec, EvictionSpec, SsdSpec};
 use storage::{DiskGeometry, RelationGroupSpec};
 pub use workload::{
     AlternationSchedule, ArrivalSpec, QueryType, Scenario, TenantSpec, WorkloadClass,
@@ -25,8 +26,15 @@ pub struct ResourceConfig {
     pub num_disks: u32,
     /// `M` — total buffer pool size in pages (default 2560 = 20 MB).
     pub memory_pages: u32,
-    /// Disk geometry (seek factor, rotation, cylinders, cache).
+    /// Disk geometry: file-layout addressing for every device, plus the
+    /// cylinder device's service parameters (seek factor, rotation, cache).
     pub geometry: DiskGeometry,
+    /// Storage service model each disk runs (default: the paper's cylinder
+    /// disk). Select via [`SimConfig::with_device`].
+    pub device: DeviceSpec,
+    /// Eviction policy of each disk's prefetch pool (default: LRU, the
+    /// paper's behavior). Select via [`SimConfig::with_eviction`].
+    pub eviction: EvictionSpec,
     /// Operator cost-model parameters (tuples/page, block size, fudge).
     pub exec: ExecConfig,
 }
@@ -38,10 +46,57 @@ impl Default for ResourceConfig {
             num_disks: 10,
             memory_pages: 2560,
             geometry: DiskGeometry::default(),
+            device: DeviceSpec::default(),
+            eviction: EvictionSpec::default(),
             exec: ExecConfig::default(),
         }
     }
 }
+
+/// Why a [`SimConfig`] is degenerate — returned by [`SimConfig::validate`]
+/// so misconfigurations fail at the driver boundary instead of as implicit
+/// panics (or division-by-zero) deep inside the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `exec.block_pages` is 0: block-granular I/O and the prefetch pool
+    /// both divide by it.
+    ZeroBlockPages,
+    /// The device's prefetch cache holds zero pages (zero cache bytes or
+    /// zero page bytes).
+    ZeroCacheCapacity,
+    /// No workload classes: nothing would ever arrive.
+    NoClasses,
+    /// An SSD device with queue depth 0 (its parallelism divisor).
+    ZeroSsdQueueDepth,
+    /// LRU-K eviction with K = 0 (no history to rank victims by).
+    ZeroLruKHistory,
+    /// No disks to place relations on.
+    ZeroDisks,
+    /// Zero buffer-pool pages: no query could ever be admitted.
+    ZeroMemory,
+    /// A non-positive or non-finite simulated duration.
+    NonPositiveDuration,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroBlockPages => "exec.block_pages must be positive",
+            ConfigError::ZeroCacheCapacity => "device prefetch cache holds zero pages",
+            ConfigError::NoClasses => "workload has no classes",
+            ConfigError::ZeroSsdQueueDepth => "SSD queue depth must be positive",
+            ConfigError::ZeroLruKHistory => "LRU-K history depth must be positive",
+            ConfigError::ZeroDisks => "resources.num_disks must be positive",
+            ConfigError::ZeroMemory => "resources.memory_pages must be positive",
+            ConfigError::NonPositiveDuration => {
+                "duration_secs must be positive and finite"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// A complete simulation setup.
 #[derive(Clone, Debug)]
@@ -81,6 +136,14 @@ impl SimConfig {
     /// [600, 1800] (13 sizes per disk), ‖S‖ from [3000, 9000], slack
     /// [2.5, 7.5], 10 disks, 2560 buffer pages.
     pub fn baseline(arrival_rate: f64) -> Self {
+        Self::baseline_core(arrival_rate)
+            .with_device(DeviceSpec::default())
+            .with_eviction(EvictionSpec::default())
+    }
+
+    /// The baseline preset before device/eviction routing (see
+    /// [`SimConfig::baseline`], which routes it through the builders).
+    fn baseline_core(arrival_rate: f64) -> Self {
         SimConfig {
             resources: ResourceConfig::default(),
             database: vec![
@@ -122,6 +185,53 @@ impl SimConfig {
         self.classes = scenario.classes;
         self.schedule = scenario.schedule;
         self.tenants = scenario.tenants;
+    }
+
+    /// Builder-style: run every disk on `device`
+    /// (`SimConfig::baseline(0.06).with_device(DeviceSpec::Ssd(...))`).
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.resources.device = device;
+        self
+    }
+
+    /// Builder-style: evict prefetch-pool lines per `eviction`.
+    pub fn with_eviction(mut self, eviction: EvictionSpec) -> Self {
+        self.resources.eviction = eviction;
+        self
+    }
+
+    /// Reject degenerate configurations before they become implicit panics
+    /// (or, worse, division-by-zero) deep inside the engine. The driver
+    /// calls this on every cell before spawning replications.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let r = &self.resources;
+        if r.exec.block_pages == 0 {
+            return Err(ConfigError::ZeroBlockPages);
+        }
+        if r.device.cache_pages(&r.geometry) == 0 {
+            return Err(ConfigError::ZeroCacheCapacity);
+        }
+        if self.classes.is_empty() {
+            return Err(ConfigError::NoClasses);
+        }
+        if let DeviceSpec::Ssd(spec) = r.device {
+            if spec.queue_depth == 0 {
+                return Err(ConfigError::ZeroSsdQueueDepth);
+            }
+        }
+        if let EvictionSpec::LruK { k: 0 } = r.eviction {
+            return Err(ConfigError::ZeroLruKHistory);
+        }
+        if r.num_disks == 0 {
+            return Err(ConfigError::ZeroDisks);
+        }
+        if r.memory_pages == 0 {
+            return Err(ConfigError::ZeroMemory);
+        }
+        if !(self.duration_secs > 0.0 && self.duration_secs.is_finite()) {
+            return Err(ConfigError::NonPositiveDuration);
+        }
+        Ok(())
     }
 
     /// Section 5.2: the baseline with disk contention — 6 disks.
@@ -340,6 +450,102 @@ mod tests {
             cfg.classes[1].query_type,
             QueryType::ExternalSort { .. }
         ));
+    }
+
+    #[test]
+    fn presets_default_to_cylinder_lru() {
+        for cfg in [
+            SimConfig::baseline(0.06),
+            SimConfig::bursty(8.0),
+            SimConfig::multi_tenant(0.75),
+            SimConfig::sorts(0.1),
+        ] {
+            assert_eq!(cfg.resources.device, DeviceSpec::Cylinder);
+            assert_eq!(cfg.resources.eviction, EvictionSpec::Lru);
+        }
+    }
+
+    #[test]
+    fn builders_set_device_and_eviction() {
+        let cfg = SimConfig::baseline(0.06)
+            .with_device(DeviceSpec::Ssd(SsdSpec::default()))
+            .with_eviction(EvictionSpec::LruK { k: 2 });
+        assert!(matches!(cfg.resources.device, DeviceSpec::Ssd(_)));
+        assert_eq!(cfg.resources.eviction, EvictionSpec::LruK { k: 2 });
+        // The builders touch nothing else.
+        assert_eq!(cfg.resources.memory_pages, 2560);
+        assert_eq!(cfg.classes.len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_every_preset() {
+        for cfg in [
+            SimConfig::baseline(0.06),
+            SimConfig::disk_contention(0.1),
+            SimConfig::workload_changes(),
+            SimConfig::multiclass(0.4),
+            SimConfig::sorts(0.1),
+            SimConfig::scaled_down(0.06),
+            SimConfig::bursty(8.0),
+            SimConfig::multi_tenant(0.75),
+            SimConfig::baseline(0.06)
+                .with_device(DeviceSpec::Ssd(SsdSpec::default()))
+                .with_eviction(EvictionSpec::LruK { k: 2 }),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_inputs() {
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.resources.exec.block_pages = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBlockPages));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.resources.geometry.cache_bytes = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroCacheCapacity));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.resources.geometry.page_bytes = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroCacheCapacity),
+            "zero page bytes must not divide by zero"
+        );
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.classes.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoClasses));
+
+        let cfg = SimConfig::baseline(0.06).with_device(DeviceSpec::Ssd(SsdSpec {
+            queue_depth: 0,
+            ..SsdSpec::default()
+        }));
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSsdQueueDepth));
+
+        let cfg = SimConfig::baseline(0.06).with_eviction(EvictionSpec::LruK { k: 0 });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroLruKHistory));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.resources.num_disks = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDisks));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.resources.memory_pages = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroMemory));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.duration_secs = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDuration));
+        cfg.duration_secs = f64::NAN;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDuration));
+
+        // Errors render as readable one-liners.
+        assert_eq!(
+            ConfigError::ZeroSsdQueueDepth.to_string(),
+            "SSD queue depth must be positive"
+        );
     }
 
     #[test]

@@ -428,9 +428,12 @@ impl Simulator {
             &mut layout_rng,
         );
         let start = SimTime::ZERO;
+        let device = cfg.resources.device;
+        let geometry = cfg.resources.geometry;
         let disks = DiskFarm::new(
             cfg.resources.num_disks,
-            cfg.resources.geometry,
+            || device.build(&geometry),
+            cfg.resources.eviction,
             cfg.resources.exec.block_pages,
             start,
         );
@@ -673,8 +676,12 @@ impl Simulator {
             // matters for hypothetical constrained estimates.
             FileRef::Temp(_) => (r.disk, geometry.num_cylinders / 6),
         };
-        let d = exec::standalone_time(
+        // Priced on the configured device: a faster device shrinks both
+        // execution times and the deadlines derived from them, keeping the
+        // paper's slack *ratios*.
+        let d = exec::standalone_time_on(
             op.as_mut(),
+            &self.cfg.resources.device,
             &geometry,
             &mut placement,
             self.cfg.resources.cpu_mips,
@@ -1490,8 +1497,13 @@ mod tests {
             fn name(&self) -> String {
                 "UtilProbe".into()
             }
-            fn allocate(&mut self, snapshot: &pmm::SystemSnapshot) -> pmm::Grants {
-                self.inner.allocate(snapshot)
+            fn allocate_into(
+                &mut self,
+                snapshot: &pmm::SystemSnapshot,
+                scratch: &mut pmm::AllocScratch,
+                out: &mut pmm::Grants,
+            ) {
+                self.inner.allocate_into(snapshot, scratch, out);
             }
             fn wants_tenant_feedback(&self) -> bool {
                 true

@@ -24,8 +24,9 @@ pub mod engine;
 pub mod metrics;
 
 pub use config::{
-    AlternationSchedule, ArrivalSpec, PhaseSchedule, QueryType, ResourceConfig, Scenario,
-    SimConfig, TenantSpec, WorkloadClass,
+    AlternationSchedule, ArrivalSpec, ConfigError, DeviceSpec, EvictionSpec,
+    PhaseSchedule, QueryType, ResourceConfig, Scenario, SimConfig, SsdSpec, TenantSpec,
+    WorkloadClass,
 };
 pub use engine::{run_simulation, Event, Simulator};
 pub use metrics::{ClassOutcome, RunReport, TenantOutcome, Timings, WindowPoint};

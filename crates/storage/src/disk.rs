@@ -1,5 +1,6 @@
-//! One physical disk: head position, a 256 KB prefetch cache, and an
-//! ED+elevator queue; plus [`DiskFarm`], the set of disks.
+//! One physical disk: a pluggable [`ServiceModel`], a prefetch
+//! [`BufferPool`], and an ED+elevator queue; plus [`DiskFarm`], the set of
+//! disks.
 //!
 //! Section 4.2: each disk has a 256-KByte cache used for prefetching; on a
 //! sequential read that misses the cache, `BlockSize` (6) pages are fetched,
@@ -11,53 +12,16 @@
 //! The disk is a passive state machine: the simulator's disk manager calls
 //! [`Disk::start`] to begin servicing a request (obtaining its service
 //! time), schedules the completion on its calendar, and calls
-//! [`Disk::finish`] when the event fires.
+//! [`Disk::finish`] when the event fires. Timing and positional state
+//! (head cylinder, SSD parallelism) live entirely in the service model, so
+//! the same state machine runs the paper's cylinder disk and the SSD.
 
-use crate::geometry::{DiskGeometry, ServiceTable};
 use crate::layout::FileId;
+use crate::pool::{BufferPool, EvictionSpec};
 use crate::queue::{DiskQueue, QueuedRequest};
+use crate::service::ServiceModel;
 use simkit::metrics::Utilization;
 use simkit::{Duration, SimTime};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// FxHash-style multiply-xor hasher for the cache index: the key space is
-/// tiny fixed-width integers, where SipHash's per-probe cost dominated the
-/// read-service hot path. Only used where iteration order is never
-/// observed (pure point lookups), so swapping the hasher cannot move a
-/// simulated event.
-#[derive(Default)]
-pub struct FastHasher(u64);
-
-/// Knuth's multiplicative constant (golden-ratio based).
-const FAST_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
-
-impl Hasher for FastHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FAST_SEED);
-        }
-    }
-
-    fn write_u32(&mut self, n: u32) {
-        self.write_u64(u64::from(n));
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        self.0 = (self.0 ^ n).wrapping_mul(FAST_SEED);
-    }
-
-    fn finish(&self) -> u64 {
-        // Final avalanche so low bits (the map's bucket index) mix.
-        let mut h = self.0;
-        h ^= h >> 32;
-        h = h.wrapping_mul(FAST_SEED);
-        h ^ (h >> 29)
-    }
-}
-
-/// `HashMap` with [`FastHasher`], for order-insensitive point lookups.
-pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Whether an access reads or writes the media.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,334 +53,54 @@ pub struct Access {
     pub cylinder: u32,
 }
 
-/// A cache line: one block of pages of one file.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-struct CacheKey {
-    file: FileId,
-    block: u32,
-}
-
-/// Slot sentinel for the ends of the [`IndexedLru`] list.
-const LRU_NIL: u32 = u32::MAX;
-
-/// One slab node of the LRU list.
-#[derive(Clone, Copy, Debug)]
-struct LruNode {
-    key: CacheKey,
-    prev: u32,
-    next: u32,
-}
-
-/// Key → slot index of the LRU order, sized to the cache it serves: at the
-/// paper's 5-line capacity a linear scan over a flat pair vector wins (the
-/// profile showed even a fast-hashed map dominating the read-service path);
-/// larger caches keep the hashed index so big-cache experiments stay O(1).
-/// Both arms are pinned against the same reference model by
-/// `crates/storage/tests/lru_model.rs` (paper size *and* stress shapes).
-#[derive(Debug)]
-enum KeyIndex {
-    /// Small capacity: flat `(key, slot)` pairs, scanned.
-    Small(Vec<(CacheKey, u32)>),
-    /// Large capacity: hashed point lookups.
-    Hashed(FastMap<CacheKey, u32>),
-}
-
-impl KeyIndex {
-    /// Largest capacity (entries) served by the linear index.
-    const SMALL_MAX: usize = 32;
-
-    fn with_capacity(entries: usize) -> Self {
-        if entries <= Self::SMALL_MAX {
-            KeyIndex::Small(Vec::with_capacity(entries + 1))
-        } else {
-            KeyIndex::Hashed(FastMap::default())
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            KeyIndex::Small(v) => v.len(),
-            KeyIndex::Hashed(m) => m.len(),
-        }
-    }
-
-    fn get(&self, key: &CacheKey) -> Option<u32> {
-        match self {
-            KeyIndex::Small(v) => v.iter().find(|(k, _)| k == key).map(|&(_, slot)| slot),
-            KeyIndex::Hashed(m) => m.get(key).copied(),
-        }
-    }
-
-    fn insert(&mut self, key: CacheKey, slot: u32) {
-        match self {
-            KeyIndex::Small(v) => {
-                debug_assert!(!v.iter().any(|(k, _)| *k == key));
-                v.push((key, slot));
-            }
-            KeyIndex::Hashed(m) => {
-                m.insert(key, slot);
-            }
-        }
-    }
-
-    fn remove(&mut self, key: &CacheKey) {
-        match self {
-            KeyIndex::Small(v) => {
-                if let Some(at) = v.iter().position(|(k, _)| k == key) {
-                    v.swap_remove(at);
-                }
-            }
-            KeyIndex::Hashed(m) => {
-                m.remove(key);
-            }
-        }
-    }
-}
-
-/// Indexed LRU order: a doubly-linked list over a slab of nodes plus a
-/// capacity-sized [`KeyIndex`] from key to slot. Every operation the
-/// prefetch cache needs — membership, move-to-back, insert, evict-front,
-/// retain — is O(1) in the list (retain is O(len)), replacing the
-/// `VecDeque::contains` / `position` linear scans that ran on every read
-/// service. The observable order semantics are *identical* to the deque
-/// version — `crates/storage/tests/lru_model.rs` pins that against a
-/// reference model.
-#[derive(Debug)]
-struct IndexedLru {
-    index: KeyIndex,
-    nodes: Vec<LruNode>,
-    free: Vec<u32>,
-    /// Least-recently-used end (the eviction victim).
-    head: u32,
-    /// Most-recently-used end.
-    tail: u32,
-}
-
-impl IndexedLru {
-    fn new(capacity_entries: usize) -> Self {
-        IndexedLru {
-            index: KeyIndex::with_capacity(capacity_entries),
-            nodes: Vec::new(),
-            free: Vec::new(),
-            head: LRU_NIL,
-            tail: LRU_NIL,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.index.len()
-    }
-
-    fn contains(&self, key: &CacheKey) -> bool {
-        self.index.get(key).is_some()
-    }
-
-    /// Detach `slot` from the list (it stays allocated).
-    fn unlink(&mut self, slot: u32) {
-        let LruNode { prev, next, .. } = self.nodes[slot as usize];
-        if prev == LRU_NIL {
-            self.head = next;
-        } else {
-            self.nodes[prev as usize].next = next;
-        }
-        if next == LRU_NIL {
-            self.tail = prev;
-        } else {
-            self.nodes[next as usize].prev = prev;
-        }
-    }
-
-    /// Attach a detached `slot` at the MRU end.
-    fn link_back(&mut self, slot: u32) {
-        let node = &mut self.nodes[slot as usize];
-        node.prev = self.tail;
-        node.next = LRU_NIL;
-        if self.tail == LRU_NIL {
-            self.head = slot;
-        } else {
-            self.nodes[self.tail as usize].next = slot;
-        }
-        self.tail = slot;
-    }
-
-    /// Move `key` to the MRU end if present.
-    fn touch(&mut self, key: &CacheKey) {
-        if let Some(slot) = self.index.get(key) {
-            self.unlink(slot);
-            self.link_back(slot);
-        }
-    }
-
-    /// Insert `key` at the MRU end (moving it there if already present —
-    /// the deque version's remove + push_back).
-    fn insert_back(&mut self, key: CacheKey) {
-        if let Some(slot) = self.index.get(&key) {
-            self.unlink(slot);
-            self.link_back(slot);
-            return;
-        }
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.nodes[s as usize].key = key;
-                s
-            }
-            None => {
-                let s = u32::try_from(self.nodes.len()).expect("cache fits u32 slots");
-                self.nodes.push(LruNode {
-                    key,
-                    prev: LRU_NIL,
-                    next: LRU_NIL,
-                });
-                s
-            }
-        };
-        self.index.insert(key, slot);
-        self.link_back(slot);
-    }
-
-    /// Evict the LRU entry.
-    fn pop_front(&mut self) -> Option<CacheKey> {
-        if self.head == LRU_NIL {
-            return None;
-        }
-        let slot = self.head;
-        let key = self.nodes[slot as usize].key;
-        self.unlink(slot);
-        self.free.push(slot);
-        self.index.remove(&key);
-        Some(key)
-    }
-
-    /// Drop every entry failing `pred`, preserving the order of the rest.
-    fn retain(&mut self, pred: impl Fn(&CacheKey) -> bool) {
-        let mut cur = self.head;
-        while cur != LRU_NIL {
-            let LruNode { key, next, .. } = self.nodes[cur as usize];
-            if !pred(&key) {
-                self.unlink(cur);
-                self.free.push(cur);
-                self.index.remove(&key);
-            }
-            cur = next;
-        }
-    }
-}
-
-/// LRU prefetch cache, tracked at block granularity.
-#[derive(Debug)]
-pub struct PrefetchCache {
-    capacity_blocks: usize,
-    block_pages: u32,
-    lru: IndexedLru,
-    hits: u64,
-    misses: u64,
-}
-
-impl PrefetchCache {
-    /// Cache with `capacity_pages` pages organized in `block_pages`-page
-    /// lines (256 KB / 8 KB = 32 pages = 5 whole 6-page blocks).
-    pub fn new(capacity_pages: u32, block_pages: u32) -> Self {
-        assert!(block_pages > 0);
-        let capacity_blocks = (capacity_pages / block_pages).max(1) as usize;
-        PrefetchCache {
-            capacity_blocks,
-            block_pages,
-            lru: IndexedLru::new(capacity_blocks),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn key(&self, file: FileId, page: u32) -> CacheKey {
-        CacheKey {
-            file,
-            block: page / self.block_pages,
-        }
-    }
-
-    /// True if every page of `[first, first+pages)` of `file` is cached.
-    /// Touches the lines (LRU update) on a full hit. Runs on every read
-    /// service; membership and the touch are both O(1) per block through
-    /// the indexed order.
-    pub fn lookup(&mut self, file: FileId, first: u32, pages: u32) -> bool {
-        let first_block = first / self.block_pages;
-        let last_block = (first + pages.max(1) - 1) / self.block_pages;
-        let all_present = (first_block..=last_block)
-            .all(|block| self.lru.contains(&CacheKey { file, block }));
-        if all_present {
-            self.hits += 1;
-            for block in first_block..=last_block {
-                self.lru.touch(&CacheKey { file, block });
-            }
-        } else {
-            self.misses += 1;
-        }
-        all_present
-    }
-
-    /// Insert the lines covering `[first, first+pages)` of `file`.
-    pub fn insert(&mut self, file: FileId, first: u32, pages: u32) {
-        for p in (first..first + pages.max(1)).step_by(self.block_pages as usize) {
-            let k = self.key(file, p);
-            self.lru.insert_back(k);
-            while self.lru.len() > self.capacity_blocks {
-                self.lru.pop_front();
-            }
-        }
-    }
-
-    /// Drop every line belonging to `file` (called when a temp is deleted).
-    pub fn invalidate_file(&mut self, file: FileId) {
-        self.lru.retain(|k| k.file != file);
-    }
-
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-}
-
 /// The service decision for one access.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Service {
     /// Satisfied from the prefetch cache; no media access.
     CacheHit,
-    /// Requires the media for `time`, moving the head to `new_head`.
+    /// Requires the media for `time`. Positional state (head movement)
+    /// is tracked inside the disk's service model.
     Media {
-        /// Total seek + rotation + transfer time.
+        /// Total service time (seek + rotation + transfer on the cylinder
+        /// model; latency + transfer on the SSD).
         time: Duration,
-        /// Cylinder the head rests on afterwards.
-        new_head: u32,
     },
 }
 
-/// One disk: queue + head + cache + utilization accounting.
+/// One disk: queue + service model + cache + utilization accounting.
 pub struct Disk {
-    geometry: DiskGeometry,
-    /// Memoized seek/rotation/transfer components (kills the per-access
-    /// `sqrt` and float-tick roundings; bit-equal to the direct math).
-    service_table: ServiceTable,
+    /// Timing and positional state of the device.
+    model: Box<dyn ServiceModel>,
     queue: DiskQueue<Access>,
-    head: u32,
     busy: bool,
-    cache: PrefetchCache,
+    cache: BufferPool,
     utilization: Utilization,
     completed: u64,
 }
 
 impl Disk {
-    /// A new idle disk with its head parked at cylinder 0.
-    pub fn new(geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
+    /// A new idle disk running `model`, with a prefetch pool sized by the
+    /// model's cache capacity and evicting per `eviction`.
+    pub fn new(
+        model: Box<dyn ServiceModel>,
+        eviction: EvictionSpec,
+        block_pages: u32,
+        start: SimTime,
+    ) -> Self {
+        let cache = BufferPool::with_policy(model.cache_pages(), block_pages, eviction);
         Disk {
-            geometry,
-            service_table: ServiceTable::new(&geometry),
+            model,
             queue: DiskQueue::new(),
-            head: 0,
             busy: false,
-            cache: PrefetchCache::new(geometry.cache_pages(), block_pages),
+            cache,
             utilization: Utilization::new(start),
             completed: 0,
         }
+    }
+
+    /// The device's service model (for introspection/tests).
+    pub fn model(&self) -> &dyn ServiceModel {
+        &*self.model
     }
 
     /// Queue an access with ED priority `deadline`.
@@ -445,19 +129,19 @@ impl Disk {
         if self.busy {
             return None;
         }
-        let request = self.queue.pop(self.head)?;
+        let request = self.queue.pop(self.model.position())?;
         let access = request.tag;
-        let service = self.service(&access);
-        if let Service::Media { new_head, .. } = service {
-            self.head = new_head;
-        }
+        // Requests still waiting behind this one: the queue-depth hint
+        // models with internal parallelism consume.
+        let queued = self.queue.len();
+        let service = self.service(&access, queued);
         self.busy = true;
         self.utilization.begin_busy(now);
         Some((access, service))
     }
 
     /// Compute the service decision for `access` (cache consult + timing).
-    fn service(&mut self, access: &Access) -> Service {
+    fn service(&mut self, access: &Access, queued: usize) -> Service {
         match access.kind {
             IoKind::Read => {
                 if self
@@ -469,41 +153,37 @@ impl Disk {
                 // Fetch: with prefetch on, round the fetch up to whole
                 // blocks starting at the block boundary.
                 let fetch_pages = if access.prefetch {
-                    let bp = self.cache.block_pages;
+                    let bp = self.cache.block_pages();
                     let first_block = access.first_page / bp;
                     let last_block = (access.first_page + access.pages.max(1) - 1) / bp;
                     (last_block - first_block + 1) * bp
                 } else {
                     access.pages.max(1)
                 };
-                let dist = self.head.abs_diff(access.cylinder);
-                let time =
-                    self.service_table
-                        .access_time(&self.geometry, dist, fetch_pages);
+                let time = self.model.access_time(
+                    access.cylinder,
+                    fetch_pages,
+                    IoKind::Read,
+                    queued,
+                );
                 if access.prefetch {
-                    let bp = self.cache.block_pages;
+                    let bp = self.cache.block_pages();
                     self.cache.insert(
                         access.file,
                         (access.first_page / bp) * bp,
                         fetch_pages,
                     );
                 }
-                Service::Media {
-                    time,
-                    new_head: access.cylinder,
-                }
+                Service::Media { time }
             }
             IoKind::Write => {
-                let dist = self.head.abs_diff(access.cylinder);
-                let time = self.service_table.access_time(
-                    &self.geometry,
-                    dist,
+                let time = self.model.access_time(
+                    access.cylinder,
                     access.pages.max(1),
+                    IoKind::Write,
+                    queued,
                 );
-                Service::Media {
-                    time,
-                    new_head: access.cylinder,
-                }
+                Service::Media { time }
             }
         }
     }
@@ -555,12 +235,18 @@ pub struct DiskFarm {
 }
 
 impl DiskFarm {
-    /// `n` identical disks.
-    pub fn new(n: u32, geometry: DiskGeometry, block_pages: u32, start: SimTime) -> Self {
+    /// `n` identical disks, each running a fresh model from `make_model`.
+    pub fn new<F: Fn() -> Box<dyn ServiceModel>>(
+        n: u32,
+        make_model: F,
+        eviction: EvictionSpec,
+        block_pages: u32,
+        start: SimTime,
+    ) -> Self {
         assert!(n > 0, "a database system needs at least one disk");
         DiskFarm {
             disks: (0..n)
-                .map(|_| Disk::new(geometry, block_pages, start))
+                .map(|_| Disk::new(make_model(), eviction, block_pages, start))
                 .collect(),
         }
     }
@@ -611,6 +297,26 @@ impl DiskFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geometry::DiskGeometry;
+    use crate::service::{CylinderModel, DeviceSpec, SsdModel, SsdSpec};
+
+    fn cyl_disk() -> Disk {
+        Disk::new(
+            Box::new(CylinderModel::new(DiskGeometry::default())),
+            EvictionSpec::Lru,
+            6,
+            SimTime::ZERO,
+        )
+    }
+
+    fn ssd_disk() -> Disk {
+        Disk::new(
+            Box::new(SsdModel::new(SsdSpec::default())),
+            EvictionSpec::Lru,
+            6,
+            SimTime::ZERO,
+        )
+    }
 
     fn read(file: u32, first: u32, pages: u32, cylinder: u32) -> Access {
         Access {
@@ -626,7 +332,7 @@ mod tests {
 
     #[test]
     fn sequential_read_misses_then_hits() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         disk.enqueue(SimTime(10), read(0, 0, 6, 700));
         let (_, s1) = disk.start(SimTime::ZERO).unwrap();
         assert!(matches!(s1, Service::Media { .. }));
@@ -641,13 +347,13 @@ mod tests {
 
     #[test]
     fn non_prefetch_read_does_not_populate_cache() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         let mut acc = read(0, 0, 1, 700);
         acc.prefetch = false;
         disk.enqueue(SimTime(10), acc.clone());
         let (_, s1) = disk.start(SimTime::ZERO).unwrap();
         match s1 {
-            Service::Media { time, .. } => {
+            Service::Media { time } => {
                 // Single page, no block round-up.
                 let expected = DiskGeometry::default().access_time(700, 1);
                 assert_eq!(time, expected);
@@ -666,12 +372,12 @@ mod tests {
     #[test]
     fn prefetch_rounds_to_block() {
         let g = DiskGeometry::default();
-        let mut disk = Disk::new(g, 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         // 2-page read spanning a block: fetch rounds up to 6 pages.
         disk.enqueue(SimTime(10), read(0, 2, 2, 700));
         let (_, s) = disk.start(SimTime::ZERO).unwrap();
         match s {
-            Service::Media { time, .. } => {
+            Service::Media { time } => {
                 assert_eq!(time, g.access_time(700, 6));
             }
             _ => panic!("expected media access"),
@@ -680,19 +386,19 @@ mod tests {
 
     #[test]
     fn head_moves_and_second_seek_is_shorter() {
-        let g = DiskGeometry::default();
-        let mut disk = Disk::new(g, 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         disk.enqueue(SimTime(10), read(0, 0, 6, 700));
         let (_, s1) = disk.start(SimTime::ZERO).unwrap();
         let t1 = match s1 {
-            Service::Media { time, .. } => time,
+            Service::Media { time } => time,
             _ => panic!(),
         };
         disk.finish(SimTime(1));
+        assert_eq!(disk.model().position(), 700, "head tracked by the model");
         disk.enqueue(SimTime(10), read(1, 0, 6, 705));
         let (_, s2) = disk.start(SimTime(1)).unwrap();
         let t2 = match s2 {
-            Service::Media { time, .. } => time,
+            Service::Media { time } => time,
             _ => panic!(),
         };
         assert!(t2 < t1, "short seek {t2:?} should beat long seek {t1:?}");
@@ -700,7 +406,7 @@ mod tests {
 
     #[test]
     fn busy_disk_does_not_start_twice() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         disk.enqueue(SimTime(1), read(0, 0, 6, 700));
         disk.enqueue(SimTime(2), read(1, 0, 6, 800));
         assert!(disk.start(SimTime::ZERO).is_some());
@@ -711,7 +417,7 @@ mod tests {
 
     #[test]
     fn utilization_accounting() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         disk.enqueue(SimTime(1), read(0, 0, 6, 700));
         disk.start(SimTime::ZERO).unwrap();
         disk.finish(SimTime::from_secs(5));
@@ -721,7 +427,7 @@ mod tests {
 
     #[test]
     fn cancel_queued_drops_only_matching() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         disk.enqueue(SimTime(1), read(7, 0, 6, 700));
         disk.enqueue(SimTime(2), read(8, 0, 6, 800));
         let n = disk.cancel_queued(|a| a.file == FileId::Relation(7));
@@ -731,7 +437,7 @@ mod tests {
 
     #[test]
     fn cache_invalidation() {
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         let temp = FileId::Temp(3);
         let mut acc = read(0, 0, 6, 100);
         acc.file = temp;
@@ -751,7 +457,7 @@ mod tests {
     fn lru_eviction_under_capacity_pressure() {
         // Cache holds 32/6 = 5 blocks; touching 6 distinct blocks evicts the
         // first.
-        let mut disk = Disk::new(DiskGeometry::default(), 6, SimTime::ZERO);
+        let mut disk = cyl_disk();
         let mut t = 0u64;
         for b in 0..6u32 {
             disk.enqueue(SimTime(1), read(0, b * 6, 6, 700));
@@ -766,8 +472,74 @@ mod tests {
     }
 
     #[test]
+    fn ssd_disk_is_position_blind_and_fast() {
+        let mut ssd = ssd_disk();
+        ssd.enqueue(SimTime(1), read(0, 0, 6, 1499));
+        let (_, s) = ssd.start(SimTime::ZERO).unwrap();
+        let t_far = match s {
+            Service::Media { time } => time,
+            _ => panic!("cold read"),
+        };
+        ssd.finish(SimTime(100));
+        ssd.enqueue(SimTime(1), read(1, 0, 6, 0));
+        let (_, s) = ssd.start(SimTime(100)).unwrap();
+        let t_near = match s {
+            Service::Media { time } => time,
+            _ => panic!("cold read"),
+        };
+        assert_eq!(t_far, t_near, "no seeks on flash");
+        let mut cyl = cyl_disk();
+        cyl.enqueue(SimTime(1), read(0, 0, 6, 1499));
+        let (_, s) = cyl.start(SimTime::ZERO).unwrap();
+        let t_disk = match s {
+            Service::Media { time } => time,
+            _ => panic!("cold read"),
+        };
+        assert!(t_far < t_disk, "flash beats the mechanical disk");
+    }
+
+    #[test]
+    fn ssd_stacked_queue_amortizes_latency() {
+        // Two identical cold reads: the one started with another request
+        // waiting behind it gets the queue-depth latency discount.
+        let mut solo = ssd_disk();
+        solo.enqueue(SimTime(1), read(0, 0, 6, 10));
+        let (_, s) = solo.start(SimTime::ZERO).unwrap();
+        let t_solo = match s {
+            Service::Media { time } => time,
+            _ => panic!(),
+        };
+        let mut stacked = ssd_disk();
+        stacked.enqueue(SimTime(1), read(0, 0, 6, 10));
+        stacked.enqueue(SimTime(2), read(1, 0, 6, 20));
+        let (_, s) = stacked.start(SimTime::ZERO).unwrap();
+        let t_stacked = match s {
+            Service::Media { time } => time,
+            _ => panic!(),
+        };
+        assert!(t_stacked < t_solo);
+    }
+
+    #[test]
+    fn farm_builds_from_device_spec() {
+        let g = DiskGeometry::default();
+        let device = DeviceSpec::Ssd(SsdSpec::default());
+        let farm =
+            DiskFarm::new(2, || device.build(&g), EvictionSpec::Lru, 6, SimTime::ZERO);
+        assert_eq!(farm.len(), 2);
+        assert_eq!(farm.disk(0).model().name(), "ssd");
+    }
+
+    #[test]
     fn farm_mean_and_max_utilization() {
-        let mut farm = DiskFarm::new(2, DiskGeometry::default(), 6, SimTime::ZERO);
+        let g = DiskGeometry::default();
+        let mut farm = DiskFarm::new(
+            2,
+            || DeviceSpec::Cylinder.build(&g),
+            EvictionSpec::Lru,
+            6,
+            SimTime::ZERO,
+        );
         farm.disk_mut(0).enqueue(SimTime(1), read(0, 0, 6, 700));
         farm.disk_mut(0).start(SimTime::ZERO).unwrap();
         farm.disk_mut(0).finish(SimTime::from_secs(10));

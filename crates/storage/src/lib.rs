@@ -3,8 +3,17 @@
 //! This crate models the physical storage substrate the paper's simulator
 //! relies on:
 //!
-//! * [`geometry::DiskGeometry`] — seek/rotation/transfer service times with
-//!   `Seek(n) = SeekFactor·√n` \[Bitt88\] and Table 3 defaults.
+//! * [`service::ServiceModel`] — pluggable device service models:
+//!   [`service::CylinderModel`] (seek/rotation/transfer with
+//!   `Seek(n) = SeekFactor·√n` \[Bitt88\] and Table 3 defaults) and
+//!   [`service::SsdModel`] (latency + bandwidth with queue-depth
+//!   parallelism and read/write asymmetry), selected by
+//!   [`service::DeviceSpec`].
+//! * [`geometry::DiskGeometry`] — the cylinder device's physical
+//!   parameters, also used by every device for file layout addressing.
+//! * [`pool::BufferPool`] — the per-disk prefetch cache, generalized over
+//!   a pluggable [`pool::EvictionPolicy`] (LRU and LRU-K), selected by
+//!   [`pool::EvictionSpec`].
 //! * [`queue::DiskQueue`] — per-disk Earliest-Deadline queues with elevator
 //!   (SCAN) ordering among requests of equal priority.
 //! * [`disk::Disk`] / [`disk::DiskFarm`] — the disks themselves, each with a
@@ -17,11 +26,16 @@
 pub mod disk;
 pub mod geometry;
 pub mod layout;
+pub mod pool;
 pub mod queue;
+pub mod service;
 
-pub use disk::{
-    Access, Disk, DiskFarm, FastHasher, FastMap, IoKind, PrefetchCache, Service,
-};
+pub use disk::{Access, Disk, DiskFarm, IoKind, Service};
 pub use geometry::{DiskGeometry, ServiceTable};
 pub use layout::{DiskId, FileId, FileMeta, Layout, RelationGroupSpec, RelationMeta};
+pub use pool::{
+    BufferPool, CacheKey, EvictionPolicy, EvictionSpec, FastHasher, FastMap, IndexedLru,
+    LruKPolicy, PrefetchCache,
+};
 pub use queue::{DiskQueue, QueuedRequest};
+pub use service::{CylinderModel, DeviceSpec, ServiceModel, SsdModel, SsdSpec};

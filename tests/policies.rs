@@ -1,6 +1,10 @@
 //! Cross-crate checks of the allocation policies against the operators'
 //! real memory demands.
 
+// The deprecated allocating wrappers stay covered until their removal;
+// production callers use the `*_allocate_into` forms.
+#![allow(deprecated)]
+
 use pmm_core::pmm::{max_allocate, minmax_allocate, proportional_allocate};
 use pmm_core::pmm::{QueryDemand, QueryId};
 use pmm_core::prelude::*;

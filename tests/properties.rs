@@ -2,6 +2,10 @@
 //! algorithms, operator I/O accounting, least-squares fits, and the event
 //! calendar.
 
+// The deprecated allocating wrappers stay covered until their removal;
+// production callers use the `*_allocate_into` forms.
+#![allow(deprecated)]
+
 use pmm_core::exec::{Action, ExecConfig, FileRef, HashJoin, Operator};
 use pmm_core::pmm::{max_allocate, minmax_allocate, proportional_allocate};
 use pmm_core::pmm::{QueryDemand, QueryId};
