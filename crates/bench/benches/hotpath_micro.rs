@@ -15,6 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmm_core::exec::{Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator};
+use pmm_core::obs::{MetricsRegistry, TraceEvent, TraceKind, TraceMode, Tracer};
 use pmm_core::pmm::{
     minmax_allocate, minmax_allocate_into, proportional_allocate, AllocScratch, Grants,
     QueryDemand, QueryId,
@@ -302,6 +303,56 @@ fn bench(c: &mut Criterion) {
                 }
             }
             black_box(n)
+        })
+    });
+
+    // Observability overhead cells: the engine calls `Tracer::emit` and
+    // `MetricsRegistry::inc` on every arrival/burst/departure, so the off
+    // path must price at a masked branch (the <2% hot-path budget) and the
+    // ring path at a bounded rotate — these cells pin both in the
+    // trajectory.
+    c.bench_function("obs/emit_off_10k", |b| {
+        let mut tracer = Tracer::off();
+        b.iter(|| {
+            let mut n = 0u64;
+            for i in 0..10_000u64 {
+                tracer.emit(
+                    SimTime(i),
+                    TraceEvent::CpuBurst {
+                        query: i,
+                        instructions: mix(i),
+                    },
+                );
+                n += 1;
+            }
+            black_box((n, tracer.len()))
+        })
+    });
+
+    c.bench_function("obs/emit_ring_10k", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::with_mask(TraceMode::Ring, 1024, TraceKind::ALL);
+            for i in 0..10_000u64 {
+                tracer.emit(
+                    SimTime(i),
+                    TraceEvent::CpuBurst {
+                        query: i,
+                        instructions: mix(i),
+                    },
+                );
+            }
+            black_box(tracer.len())
+        })
+    });
+
+    c.bench_function("obs/metrics_inc_10k", |b| {
+        let mut reg = MetricsRegistry::new();
+        let bursts = reg.counter("cpu.bursts");
+        b.iter(|| {
+            for _ in 0..10_000u64 {
+                reg.inc(bursts, 1);
+            }
+            black_box(reg.report().counters.len())
         })
     });
 

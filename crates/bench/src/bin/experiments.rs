@@ -23,7 +23,14 @@
 //! class<j>.txt`, replayable via `workload::Trace::from_file` /
 //! `ArrivalSpec::Trace`), `--record-pmm-decisions` (write replication 0's
 //! PMM decision trace per adaptive cell as `TRACE_pmm_<figure>_cell<i>.txt`
-//! — the Figure 15 series the merged JSON drops).
+//! — the Figure 15 series the merged JSON drops), `--trace` (record
+//! replication 0's structured sim-time trace per cell as
+//! `TRACE_obs_<figure>_cell<i>.txt`, export cell 0 as Chrome trace-event
+//! JSON `CHROME_<figure>_cell0.json` for chrome://tracing / Perfetto, and
+//! write the seed-merged metrics registry as
+//! `BENCH_<figure>_metrics.json`), `--profile` (attribute wall-clock time
+//! per engine subsystem and write `BENCH_profile.json` — machine-dependent,
+//! like `BENCH_perf.json`).
 //!
 //! Beyond the paper: `--figure burst` sweeps MMPP burst ratios at the
 //! baseline's mean rate under the static policies, v1 PMM, and the
@@ -48,8 +55,11 @@
 //! Report-mode artifacts: fig3 fig4 fig5 table7 fig6 fig7 fig8 fig9 fig10
 //! fig11 fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
 
-use bench::driver::{perf_json, run_figure, DriverConfig, FIGURES};
+use bench::driver::{
+    metrics_json, perf_json, profile_json, run_figure, DriverConfig, FIGURES,
+};
 use bench::*;
+use pmm_core::obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -112,6 +122,8 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         } else if a == "--smoke"
             || a == "--record-arrivals"
             || a == "--record-pmm-decisions"
+            || a == "--trace"
+            || a == "--profile"
         {
             i += 1;
         } else if VALUE_FLAGS.contains(&a.as_str()) {
@@ -149,6 +161,8 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         master_seed: parse_flag(args, "--master-seed", 1994)?,
         record_arrivals: args.iter().any(|a| a == "--record-arrivals"),
         record_pmm_decisions: args.iter().any(|a| a == "--record-pmm-decisions"),
+        trace: args.iter().any(|a| a == "--trace"),
+        profile: args.iter().any(|a| a == "--profile"),
     };
     if cfg.seeds == 0 {
         return Err("--seeds must be at least 1".into());
@@ -162,6 +176,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
     let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| ".".into()));
 
     let mut perf: Vec<(String, bench::driver::FigurePerf)> = Vec::new();
+    let mut profiles: Vec<(String, obs::ProfileReport)> = Vec::new();
     for figure in &figures {
         let started = std::time::Instant::now();
         let result = run_figure(figure, cfg)?;
@@ -230,6 +245,44 @@ fn run_driver(args: &[String]) -> Result<(), String> {
                 result.pmm_traces.len()
             );
         }
+        // Structured observability artifacts (--trace): the rendered text
+        // trace per cell, the seed-merged metrics registry, and a Chrome
+        // trace-event export of cell 0 for chrome://tracing / Perfetto.
+        for t in &result.obs_traces {
+            let trace_path =
+                out_dir.join(format!("TRACE_obs_{figure}_cell{}.txt", t.cell));
+            let mut body = format!(
+                "# {figure} cell {} (x={:?}, policy={}) — replication 0 \
+                 structured sim-time trace\n",
+                t.cell, t.x, t.policy
+            );
+            body.push_str(&obs::render_text(&t.records));
+            std::fs::write(&trace_path, body)
+                .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        }
+        if let Some(t) = result.obs_traces.first() {
+            let chrome_path = out_dir.join(format!("CHROME_{figure}_cell0.json"));
+            std::fs::write(&chrome_path, obs::chrome_trace_json(&t.records))
+                .map_err(|e| format!("cannot write {}: {e}", chrome_path.display()))?;
+            println!(
+                "wrote {} structured trace file(s) and {} (Chrome trace-event \
+                 export)",
+                result.obs_traces.len(),
+                chrome_path.display()
+            );
+        }
+        if !result.metrics.is_empty() {
+            let metrics_path = out_dir.join(format!("BENCH_{figure}_metrics.json"));
+            std::fs::write(&metrics_path, metrics_json(&result))
+                .map_err(|e| format!("cannot write {}: {e}", metrics_path.display()))?;
+            println!(
+                "wrote {} (merged metrics registry; thread-count invariant)",
+                metrics_path.display()
+            );
+        }
+        if let Some(p) = &result.profile {
+            profiles.push((figure.clone(), p.clone()));
+        }
         perf.push((figure.clone(), result.perf));
     }
     // The perf trajectory is a separate artifact: BENCH_<figure>.json stays
@@ -242,6 +295,17 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         "wrote {} (perf trajectory; not determinism-pinned)",
         perf_path.display()
     );
+    // The self-profile is wall-clock attribution per engine subsystem —
+    // machine-dependent like the perf trajectory, and kept apart from it.
+    if !profiles.is_empty() {
+        let profile_path = out_dir.join("BENCH_profile.json");
+        std::fs::write(&profile_path, profile_json(cfg, &profiles))
+            .map_err(|e| format!("cannot write {}: {e}", profile_path.display()))?;
+        println!(
+            "wrote {} (self-profile; not determinism-pinned)",
+            profile_path.display()
+        );
+    }
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 //! run. `tests/driver_determinism.rs` pins that property.
 
 use crate::make_policy_for;
+use pmm_core::obs;
 use pmm_core::prelude::*;
 use pmm_core::rtdbs::WindowPoint;
 use pmm_core::simkit::metrics::BatchMeans;
@@ -206,9 +207,20 @@ pub struct DriverConfig {
     pub record_arrivals: bool,
     /// Collect replication 0's PMM decision trace per cell into
     /// [`FigureResult::pmm_traces`] (`--record-pmm-decisions`) — the
-    /// Figure 15 series the merged JSON drops. Metric-only: every
-    /// replication always carries its trace; this only surfaces it.
+    /// Figure 15 series the merged JSON drops. Metric-only: the points are
+    /// recovered from the structured trace sink's `PolicyDecision` records.
     pub record_pmm_decisions: bool,
+    /// Enable the observability subsystem (`--trace`): replication 0 of
+    /// every cell records a full structured sim-time trace into
+    /// [`FigureResult::obs_traces`], and every replication collects the
+    /// metrics registry, merged per cell in seed order into
+    /// [`FigureResult::metrics`]. Metric-only: the merged
+    /// `BENCH_<figure>.json` is unaffected.
+    pub trace: bool,
+    /// Enable engine self-profiling (`--profile`): wall-clock attribution
+    /// per subsystem, aggregated over all replications into
+    /// [`FigureResult::profile`]. Machine-dependent — never byte-diffed.
+    pub profile: bool,
 }
 
 impl Default for DriverConfig {
@@ -220,6 +232,8 @@ impl Default for DriverConfig {
             master_seed: 1994,
             record_arrivals: false,
             record_pmm_decisions: false,
+            trace: false,
+            profile: false,
         }
     }
 }
@@ -344,6 +358,37 @@ pub struct RecordedPmmTrace {
     pub policy: String,
     /// Replication 0's decision points, in simulation order.
     pub points: Vec<pmm_core::pmm::TracePoint>,
+}
+
+/// One cell's recorded structured trace: replication 0's full sim-time
+/// record stream (arrivals through departures, policy decisions, batch
+/// boundaries), rendered by the binary as `TRACE_obs_<figure>_cell<i>.txt`
+/// and exportable to Chrome trace-event JSON.
+#[derive(Clone, Debug)]
+pub struct RecordedObsTrace {
+    /// Cell index in the figure's canonical order.
+    pub cell: usize,
+    /// The cell's swept parameter.
+    pub x: f64,
+    /// The cell's policy.
+    pub policy: String,
+    /// Replication 0's trace records, chronological.
+    pub records: Vec<obs::TraceRecord>,
+}
+
+/// One cell's metrics registry, merged over the replications in seed order
+/// (counters and histogram buckets sum, gauges average, windowed deltas
+/// merge index-by-index) — the payload of `BENCH_<figure>_metrics.json`.
+#[derive(Clone, Debug)]
+pub struct CellMetrics {
+    /// Cell index in the figure's canonical order.
+    pub cell: usize,
+    /// The cell's swept parameter.
+    pub x: f64,
+    /// The cell's policy.
+    pub policy: String,
+    /// The merged registry snapshot.
+    pub metrics: obs::MetricsReport,
 }
 
 /// One cell's merged statistics over all replications.
@@ -492,6 +537,17 @@ pub struct FigureResult {
     /// produced no decisions — the static baselines — are skipped). The
     /// binary writes them as `TRACE_pmm_<figure>_cell<i>.txt`.
     pub pmm_traces: Vec<RecordedPmmTrace>,
+    /// Replication 0's structured traces per cell (empty unless
+    /// [`DriverConfig::trace`] is set; kept out of the merged JSON).
+    pub obs_traces: Vec<RecordedObsTrace>,
+    /// Per-cell merged metrics registries (empty unless
+    /// [`DriverConfig::trace`] is set). Serialized by [`metrics_json`] —
+    /// byte-identical across thread counts, like the figure JSON.
+    pub metrics: Vec<CellMetrics>,
+    /// Wall-clock self-profile aggregated over every replication of every
+    /// cell (`None` unless [`DriverConfig::profile`] is set).
+    /// Machine-dependent: serialized by [`profile_json`], never diffed.
+    pub profile: Option<obs::ProfileReport>,
 }
 
 /// Derive the RNG seed for replication `rep` — stable for a given master
@@ -545,6 +601,15 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         // Traces are per cell, not per replication: replication 0 is the
         // canonical recording (its seed derivation is stable).
         sim.record_arrivals = cfg.record_arrivals && s == 0;
+        // Structured traces follow the same convention; PMM decision
+        // recording rides the same sink (its points are recovered from the
+        // `PolicyDecision` records). Metrics are collected on *every*
+        // replication so the per-cell merge spans all seeds.
+        if s == 0 && (cfg.trace || cfg.record_pmm_decisions) {
+            sim.obs.trace = TraceMode::Full;
+        }
+        sim.obs.metrics = cfg.trace;
+        sim.obs.profile = cfg.profile;
         // Device-sweep cells fold a device × eviction choice into the
         // policy name; all other cells pass through unchanged.
         let (sim, policy_name) = crate::apply_device_cell(sim, &cell.policy);
@@ -579,6 +644,9 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
     let mut perf = FigurePerf::default();
     let mut traces: Vec<RecordedTrace> = Vec::new();
     let mut pmm_traces: Vec<RecordedPmmTrace> = Vec::new();
+    let mut obs_traces: Vec<RecordedObsTrace> = Vec::new();
+    let mut metrics: Vec<CellMetrics> = Vec::new();
+    let mut profile: Option<obs::ProfileReport> = None;
     let cells = spec
         .cells
         .iter()
@@ -605,16 +673,57 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                     });
                 }
             }
-            if cfg.record_pmm_decisions && !reports[0].trace.is_empty() {
+            if cfg.record_pmm_decisions {
                 // Replication 0 is the canonical recording, mirroring the
-                // arrival traces; static policies trace nothing and are
-                // skipped.
-                pmm_traces.push(RecordedPmmTrace {
+                // arrival traces. The points come back out of the unified
+                // trace sink, not a side channel; static policies emit no
+                // `PolicyDecision` records and are skipped.
+                let points: Vec<pmm_core::pmm::TracePoint> = reports[0]
+                    .obs_trace
+                    .iter()
+                    .filter_map(|r| match r.event {
+                        obs::TraceEvent::PolicyDecision { mode, target_mpl } => {
+                            Some(pmm_core::pmm::TracePoint {
+                                at: r.at,
+                                mode: mode.into(),
+                                target_mpl,
+                            })
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if !points.is_empty() {
+                    pmm_traces.push(RecordedPmmTrace {
+                        cell: c,
+                        x: cell.x,
+                        policy: cell.policy.clone(),
+                        points,
+                    });
+                }
+            }
+            if cfg.trace {
+                obs_traces.push(RecordedObsTrace {
                     cell: c,
                     x: cell.x,
                     policy: cell.policy.clone(),
-                    points: reports[0].trace.clone(),
+                    records: reports[0].obs_trace.clone(),
                 });
+                let per_seed: Vec<&obs::MetricsReport> =
+                    reports.iter().filter_map(|r| r.metrics.as_ref()).collect();
+                metrics.push(CellMetrics {
+                    cell: c,
+                    x: cell.x,
+                    policy: cell.policy.clone(),
+                    metrics: obs::MetricsReport::merge(&per_seed),
+                });
+            }
+            for r in &reports {
+                if let Some(p) = &r.profile {
+                    match &mut profile {
+                        Some(acc) => acc.absorb(p),
+                        None => profile = Some(p.clone()),
+                    }
+                }
             }
             perf.cells.push(CellPerf {
                 x: cell.x,
@@ -650,6 +759,9 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         perf,
         traces,
         pmm_traces,
+        obs_traces,
+        metrics,
+        profile,
     })
 }
 
@@ -689,6 +801,123 @@ pub fn perf_json(cfg: DriverConfig, figures: &[(String, FigurePerf)]) -> String 
             out.push_str(",\"events_per_sec\":");
             push_f64(&mut out, c.events_per_sec());
             out.push('}');
+        }
+        out.push_str("]}");
+        if i + 1 < figures.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serialize one figure's merged metrics registries to the
+/// `BENCH_<figure>_metrics.json` format. Like the figure JSON this is a
+/// pure function of the seed-order merge: thread count and wall-clock time
+/// never appear, so runs with different parallelism are byte-identical.
+pub fn metrics_json(result: &FigureResult) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"{}\",\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \
+         \"kind\": \"metrics\",\n  \"seeds\": {},\n  \"master_seed\": {},\n  \
+         \"sim_secs\": ",
+        result.figure, result.config.seeds, result.config.master_seed
+    ));
+    push_f64(&mut out, result.config.secs);
+    out.push_str(",\n  \"cells\": [\n");
+    for (i, cm) in result.metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\":{},\"x\":{:?},\"policy\":\"{}\",\"counters\":{{",
+            cm.cell, cm.x, cm.policy
+        ));
+        for (j, (name, total)) in cm.metrics.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{total}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (j, (name, value)) in cm.metrics.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            push_f64(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":[");
+        for (j, h) in cm.metrics.hists.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"bounds\":[", h.name));
+            for (k, b) in h.bounds.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                push_f64(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (k, c) in h.counts.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"windows\":[");
+        for (j, w) in cm.metrics.windows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"t_secs\":{:?},\"deltas\":[", w.t_secs));
+            for (k, d) in w.deltas.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&d.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        if i + 1 < result.metrics.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serialize the self-profile of one driver invocation to the
+/// `BENCH_profile.json` format. Like `BENCH_perf.json` this carries
+/// wall-clock readings — machine-dependent, archived as a trajectory
+/// artifact but never diffed for byte-identity.
+pub fn profile_json(
+    cfg: DriverConfig,
+    figures: &[(String, obs::ProfileReport)],
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \"kind\": \"profile\",\n  \
+         \"note\": \"wall-clock self-profile per engine subsystem; \
+         machine-dependent, never diffed for byte-identity\",\n  \
+         \"seeds\": {},\n  \"master_seed\": {},\n  \"threads\": {},\n  \
+         \"sim_secs\": ",
+        cfg.seeds, cfg.master_seed, cfg.threads
+    ));
+    push_f64(&mut out, cfg.secs);
+    out.push_str(",\n  \"figures\": [\n");
+    for (i, (name, report)) in figures.iter().enumerate() {
+        out.push_str(&format!("    {{\"figure\":\"{name}\",\"sections\":["));
+        for (j, s) in report.sections.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"wall_secs\":", s.name));
+            push_f64(&mut out, s.wall_secs);
+            out.push_str(&format!(",\"calls\":{}}}", s.calls));
         }
         out.push_str("]}");
         if i + 1 < figures.len() {
@@ -1024,6 +1253,59 @@ mod tests {
         let plain = run_figure("fig12", off).expect("rerun");
         assert!(plain.pmm_traces.is_empty());
         assert_eq!(plain.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn structured_traces_and_metrics_ride_along() {
+        let cfg = DriverConfig {
+            seeds: 2,
+            threads: 1,
+            secs: 300.0,
+            master_seed: 1994,
+            trace: true,
+            profile: true,
+            ..DriverConfig::default()
+        };
+        let r = run_figure("fig12", cfg).expect("fig12 runs");
+        assert_eq!(r.obs_traces.len(), 3, "one structured trace per cell");
+        assert!(r.obs_traces.iter().all(|t| !t.records.is_empty()));
+        assert_eq!(r.metrics.len(), 3, "one merged registry per cell");
+        for cm in &r.metrics {
+            assert!(
+                cm.metrics
+                    .counters
+                    .iter()
+                    .any(|(n, v)| n == "engine.arrivals" && *v > 0),
+                "merged registry counts arrivals"
+            );
+        }
+        let prof = r.profile.as_ref().expect("profiling enabled");
+        assert!(
+            prof.sections
+                .iter()
+                .any(|s| s.name == "dispatch" && s.calls > 0),
+            "dispatch section attributed"
+        );
+        let mjson = metrics_json(&r);
+        assert!(mjson.contains("\"kind\": \"metrics\""));
+        assert!(mjson.contains("\"engine.arrivals\""));
+        assert_eq!(mjson.matches('{').count(), mjson.matches('}').count());
+        // Observability is metric-only: the merged figure JSON is
+        // unaffected, and everything stays empty when it is off.
+        let off = DriverConfig {
+            trace: false,
+            profile: false,
+            ..cfg
+        };
+        let plain = run_figure("fig12", off).expect("rerun");
+        assert!(plain.obs_traces.is_empty());
+        assert!(plain.metrics.is_empty());
+        assert!(plain.profile.is_none());
+        assert_eq!(plain.to_json(), r.to_json());
+        let pjson = profile_json(cfg, &[("fig12".to_string(), prof.clone())]);
+        assert!(pjson.contains("\"kind\": \"profile\""));
+        assert!(pjson.contains("\"name\":\"dispatch\""));
+        assert_eq!(pjson.matches('{').count(), pjson.matches('}').count());
     }
 
     #[test]

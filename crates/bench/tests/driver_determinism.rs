@@ -230,6 +230,59 @@ fn recorded_arrival_traces_replay_and_leave_json_untouched() {
     }
 }
 
+/// `--trace`: every observability artifact — the rendered structured
+/// traces, the merged metrics JSON, and the Chrome trace-event export — is
+/// byte-identical across thread counts, and the recording leaves the
+/// merged figure JSON untouched.
+#[test]
+fn trace_artifacts_are_thread_count_invariant() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 300.0,
+        master_seed: 1994,
+        trace: true,
+        ..DriverConfig::default()
+    };
+    let serial = run_figure("fig12", base).expect("serial run");
+    let parallel =
+        run_figure("fig12", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.obs_traces.len(), parallel.obs_traces.len());
+    for (s, p) in serial.obs_traces.iter().zip(&parallel.obs_traces) {
+        assert_eq!(
+            pmm_core::obs::render_text(&s.records),
+            pmm_core::obs::render_text(&p.records),
+            "cell {}: rendered trace must be byte-identical across thread \
+             counts",
+            s.cell
+        );
+        assert_eq!(
+            pmm_core::obs::chrome_trace_json(&s.records),
+            pmm_core::obs::chrome_trace_json(&p.records),
+            "cell {}: Chrome export must be byte-identical across thread \
+             counts",
+            s.cell
+        );
+    }
+    assert_eq!(
+        bench::driver::metrics_json(&serial),
+        bench::driver::metrics_json(&parallel),
+        "merged metrics JSON must be byte-identical across thread counts"
+    );
+    // A trace run leaves the figure JSON identical to a no-trace run: the
+    // observability path never perturbs the simulation.
+    let off = run_figure(
+        "fig12",
+        DriverConfig {
+            trace: false,
+            ..base
+        },
+    )
+    .expect("plain run");
+    assert_eq!(off.to_json(), serial.to_json());
+}
+
 /// Different master seeds must actually change the results — otherwise the
 /// determinism assertions above would be vacuous.
 #[test]

@@ -18,6 +18,7 @@
 //! ```
 
 pub use exec;
+pub use obs;
 pub use pmm;
 pub use rtdbs;
 pub use simkit;
@@ -28,6 +29,7 @@ pub use workload;
 /// Everything a typical experiment needs.
 pub mod prelude {
     pub use exec::{ExecConfig, ExternalSort, HashJoin, Operator};
+    pub use obs::{ObsConfig, TraceEvent, TraceMode};
     pub use pmm::{
         MaxPolicy, MemoryPolicy, MinMaxPolicy, PartitionSpec, PartitionedPolicy, Pmm,
         PmmParams, ProportionalPolicy, StrategyMode, TenantPmm,

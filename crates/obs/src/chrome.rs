@@ -1,0 +1,260 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a slice of [`TraceRecord`]s to the Chrome trace-event format
+//! (the JSON Object Format: `{"traceEvents": [...]}`) understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev). Virtual
+//! time maps directly onto the trace clock: one simulator tick is one
+//! microsecond, which is exactly the unit of the `ts`/`dur` fields, so
+//! timestamps are emitted as exact integers.
+//!
+//! Lane layout (all under pid 0):
+//! - tid 0 — engine control: policy decisions and batch boundaries;
+//! - tid 1 — query lifecycle: async `b`/`n`/`e` spans keyed by query id
+//!   (arrival → admission → completion), plus grant-change instants;
+//! - tid 2 — CPU burst submissions;
+//! - tid `10 + d` — disk `d`: media accesses as complete (`X`) slices
+//!   with their service time as the duration, cache hits as instants.
+
+use crate::trace::{TraceEvent, TraceRecord};
+
+const ENGINE_TID: u32 = 0;
+const QUERY_TID: u32 = 1;
+const CPU_TID: u32 = 2;
+const DISK_TID_BASE: u32 = 10;
+
+fn push_event(out: &mut String, body: &str) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(body);
+}
+
+fn meta_thread(out: &mut String, tid: u32, name: &str) {
+    push_event(
+        out,
+        &format!(
+            r#"{{"ph":"M","pid":0,"tid":{tid},"name":"thread_name","args":{{"name":"{name}"}}}}"#
+        ),
+    );
+}
+
+/// Render `records` as a Chrome trace-event JSON document.
+///
+/// Output is deterministic: identical records yield identical bytes.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\": [");
+    push_event(
+        &mut out,
+        r#"{"ph":"M","pid":0,"name":"process_name","args":{"name":"pmm-sim"}}"#,
+    );
+    meta_thread(&mut out, ENGINE_TID, "engine");
+    meta_thread(&mut out, QUERY_TID, "queries");
+    meta_thread(&mut out, CPU_TID, "cpu");
+    let mut disks_seen: Vec<u32> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Io { disk, .. } => Some(disk),
+            _ => None,
+        })
+        .collect();
+    disks_seen.sort_unstable();
+    disks_seen.dedup();
+    for d in &disks_seen {
+        meta_thread(&mut out, DISK_TID_BASE + d, &format!("disk{d}"));
+    }
+
+    for r in records {
+        let ts = r.at.0;
+        match r.event {
+            TraceEvent::Arrival { query, class } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"b","cat":"query","id":{query},"name":"q{query}","pid":0,"tid":{QUERY_TID},"ts":{ts},"args":{{"class":{class}}}}}"#
+                    ),
+                );
+            }
+            TraceEvent::ArrivalGap { .. } => {}
+            TraceEvent::Admitted { query, wait } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"n","cat":"query","id":{query},"name":"q{query}","pid":0,"tid":{QUERY_TID},"ts":{ts},"args":{{"admitted_after_us":{}}}}}"#,
+                        wait.0
+                    ),
+                );
+            }
+            TraceEvent::GrantChanged { query, pages } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"t","name":"grant q{query}","pid":0,"tid":{QUERY_TID},"ts":{ts},"args":{{"pages":{pages}}}}}"#
+                    ),
+                );
+            }
+            TraceEvent::CpuBurst {
+                query,
+                instructions,
+            } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"t","name":"cpu q{query}","pid":0,"tid":{CPU_TID},"ts":{ts},"args":{{"instructions":{instructions}}}}}"#
+                    ),
+                );
+            }
+            TraceEvent::Io {
+                query,
+                disk,
+                pages,
+                write,
+                cache_hit,
+                service,
+            } => {
+                let tid = DISK_TID_BASE + disk;
+                let kind = if write { "write" } else { "read" };
+                if cache_hit {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            r#"{{"ph":"i","s":"t","name":"hit q{query}","pid":0,"tid":{tid},"ts":{ts},"args":{{"pages":{pages},"kind":"{kind}"}}}}"#
+                        ),
+                    );
+                } else {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            r#"{{"ph":"X","name":"io q{query}","pid":0,"tid":{tid},"ts":{ts},"dur":{},"args":{{"pages":{pages},"kind":"{kind}"}}}}"#,
+                            service.0
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Completed {
+                query,
+                class,
+                missed,
+            } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"e","cat":"query","id":{query},"name":"q{query}","pid":0,"tid":{QUERY_TID},"ts":{ts},"args":{{"class":{class},"missed":{missed}}}}}"#
+                    ),
+                );
+            }
+            TraceEvent::PolicyDecision { mode, target_mpl } => {
+                let target = target_mpl.map_or("null".to_string(), |m| m.to_string());
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"g","name":"policy {mode}","pid":0,"tid":{ENGINE_TID},"ts":{ts},"args":{{"target_mpl":{target}}}}}"#
+                    ),
+                );
+            }
+            TraceEvent::BatchClosed { served, missed } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"g","name":"batch","pid":0,"tid":{ENGINE_TID},"ts":{ts},"args":{{"served":{served},"missed":{missed}}}}}"#
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PolicyMode;
+    use simkit::{Duration, SimTime};
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at: SimTime(1_000_000),
+                event: TraceEvent::Arrival { query: 1, class: 0 },
+            },
+            TraceRecord {
+                at: SimTime(1_100_000),
+                event: TraceEvent::Admitted {
+                    query: 1,
+                    wait: Duration(100_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_200_000),
+                event: TraceEvent::Io {
+                    query: 1,
+                    disk: 0,
+                    pages: 8,
+                    write: false,
+                    cache_hit: false,
+                    service: Duration(21_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_300_000),
+                event: TraceEvent::Io {
+                    query: 1,
+                    disk: 1,
+                    pages: 1,
+                    write: true,
+                    cache_hit: true,
+                    service: Duration(0),
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_000_000),
+                event: TraceEvent::Completed {
+                    query: 1,
+                    class: 0,
+                    missed: true,
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_000_000),
+                event: TraceEvent::PolicyDecision {
+                    mode: PolicyMode::Max,
+                    target_mpl: None,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_wrapped_and_deterministic() {
+        let a = chrome_trace_json(&sample());
+        let b = chrome_trace_json(&sample());
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\": ["));
+        assert!(a.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn export_contains_expected_phases_and_lanes() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.contains(r#""ph":"b","cat":"query","id":1"#));
+        assert!(json.contains(r#""ph":"e","cat":"query","id":1"#));
+        assert!(json.contains(r#""ph":"X","name":"io q1""#));
+        assert!(json.contains(r#""dur":21000"#));
+        assert!(json.contains(r#""name":"disk0""#));
+        assert!(json.contains(r#""name":"disk1""#));
+        assert!(json.contains(r#""name":"policy Max""#));
+        assert!(json.contains(r#""target_mpl":null"#));
+        assert!(json.contains(r#""ts":1000000"#));
+    }
+
+    #[test]
+    fn export_balances_braces_and_brackets() {
+        let json = chrome_trace_json(&sample());
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,72 @@
+//! `obs` — sim-time observability for the reproduction.
+//!
+//! Four pieces, all independent of the engine so every crate can use them:
+//!
+//! 1. **Tracing** ([`trace`]): typed [`TraceEvent`] records stamped in
+//!    *virtual* time, written through a pluggable [`Tracer`] whose sink is a
+//!    null device (compiles to one load+test+branch on the hot path), a
+//!    fixed-capacity ring-buffer flight recorder, or a full in-memory log.
+//! 2. **Metrics** ([`metrics`]): a registry of named counters, gauges, and
+//!    fixed-bucket histograms with windowed counter-delta snapshots that
+//!    reuse the fig12 window boundaries.
+//! 3. **Self-profiling** ([`profile`]): wall-clock attribution per engine
+//!    subsystem (calendar pop, dispatch, `Disk::start`, `reallocate()`),
+//!    off by default and free when disabled.
+//! 4. **Chrome trace export** ([`chrome`]): renders a trace to the Chrome
+//!    trace-event JSON format so a replication's virtual-time timeline can
+//!    be opened in `chrome://tracing` or Perfetto.
+//!
+//! Everything here is deterministic given the input records: text and JSON
+//! renderings are byte-identical across runs and thread counts.
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{
+    CounterId, GaugeId, HistId, HistReport, MetricsRegistry, MetricsReport, MetricsWindow,
+};
+pub use profile::{ProfileReport, Profiler, Section, SectionStats};
+pub use trace::{render_text, PolicyMode, TraceEvent, TraceKind, TraceRecord, Tracer};
+
+/// Per-run observability switches, carried on the simulator config.
+///
+/// The default is everything off: no trace records, no metrics registry,
+/// no profiling, and a golden report byte-identical to the pre-obs engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Trace sink mode for this run.
+    pub trace: TraceMode,
+    /// Capacity (records) of the ring-buffer flight recorder. Only used
+    /// when `trace == TraceMode::Ring`; must be non-zero then.
+    pub ring_capacity: usize,
+    /// Enable the metrics registry (counters/gauges/histograms with
+    /// windowed snapshots on the fig12 boundaries).
+    pub metrics: bool,
+    /// Enable wall-clock self-profiling of engine subsystems.
+    pub profile: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace: TraceMode::Off,
+            ring_capacity: 4096,
+            metrics: false,
+            profile: false,
+        }
+    }
+}
+
+/// Which trace sink a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Null sink: `Tracer::emit` is a single masked branch, no storage.
+    Off,
+    /// Flight recorder: keep only the most recent `ring_capacity` records.
+    Ring,
+    /// Full log: keep every record for the whole run.
+    Full,
+}

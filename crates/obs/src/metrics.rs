@@ -1,0 +1,310 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms
+//! with windowed counter-delta snapshots.
+//!
+//! Instruments are registered once up front and addressed by typed index
+//! handles ([`CounterId`], [`GaugeId`], [`HistId`]) so the hot path is an
+//! array index, never a name lookup. `roll(t_secs)` snapshots per-counter
+//! deltas at the same window boundaries the engine uses for the fig12
+//! series, making the windowed metrics mergeable across seeds with the
+//! driver's existing ragged-tolerant window machinery.
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+#[derive(Clone, Debug)]
+struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Gauge {
+    name: &'static str,
+    value: f64,
+}
+
+#[derive(Clone, Debug)]
+struct Hist {
+    name: &'static str,
+    bounds: &'static [f64],
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    counts: Vec<u64>,
+}
+
+/// One windowed snapshot: per-counter deltas since the previous roll,
+/// in counter registration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsWindow {
+    /// Window end, seconds of virtual time.
+    pub t_secs: f64,
+    /// Counter deltas over the window, registration order.
+    pub deltas: Vec<u64>,
+}
+
+/// The live registry. Register instruments first, then update by handle.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    hists: Vec<Hist>,
+    windows: Vec<MetricsWindow>,
+    last: Vec<u64>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register a counter. Names follow `<subsystem>.<noun>` (see README).
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push(Counter { name, value: 0 });
+        self.last.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauges.push(Gauge { name, value: 0.0 });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a fixed-bucket histogram; `bounds` are inclusive upper
+    /// bucket bounds, strictly increasing, with an implicit overflow
+    /// bucket appended.
+    pub fn histogram(&mut self, name: &'static str, bounds: &'static [f64]) -> HistId {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        self.hists.push(Hist {
+            name,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Add `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Set a gauge to its latest observed value.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: f64) {
+        let h = &mut self.hists[id.0];
+        let idx = h
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(h.bounds.len());
+        h.counts[idx] += 1;
+    }
+
+    /// Close a window ending at `t_secs`: snapshot per-counter deltas
+    /// since the previous roll.
+    pub fn roll(&mut self, t_secs: f64) {
+        let deltas = self
+            .counters
+            .iter()
+            .zip(self.last.iter_mut())
+            .map(|(c, last)| {
+                let d = c.value - *last;
+                *last = c.value;
+                d
+            })
+            .collect();
+        self.windows.push(MetricsWindow { t_secs, deltas });
+    }
+
+    /// Freeze into an owned report for the run's `RunReport`.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| (c.name.to_string(), c.value))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| (g.name.to_string(), g.value))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|h| HistReport {
+                    name: h.name.to_string(),
+                    bounds: h.bounds.to_vec(),
+                    counts: h.counts.clone(),
+                })
+                .collect(),
+            windows: self.windows.clone(),
+        }
+    }
+}
+
+/// A frozen histogram for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistReport {
+    /// Instrument name.
+    pub name: String,
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` bucket counts (last = overflow).
+    pub counts: Vec<u64>,
+}
+
+/// Frozen end-of-run metrics, carried on `RunReport` and merged across
+/// seeds by the driver.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// `(name, total)` per counter, registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last value)` per gauge, registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// Frozen histograms, registration order.
+    pub hists: Vec<HistReport>,
+    /// Windowed counter-delta snapshots, chronological.
+    pub windows: Vec<MetricsWindow>,
+}
+
+impl MetricsReport {
+    /// Merge reports from several replications of the same cell: counters
+    /// and histogram bucket counts are summed, gauges averaged in input
+    /// order, and windows index-merged (ragged tails tolerated, like the
+    /// driver's fig12 window merge). Instrument sets must match — they do
+    /// by construction, since every replication registers identically.
+    pub fn merge(reports: &[&MetricsReport]) -> MetricsReport {
+        let Some(first) = reports.first() else {
+            return MetricsReport::default();
+        };
+        let mut out = (*first).clone();
+        for r in &reports[1..] {
+            for (dst, src) in out.counters.iter_mut().zip(r.counters.iter()) {
+                debug_assert_eq!(dst.0, src.0);
+                dst.1 += src.1;
+            }
+            for (dst, src) in out.gauges.iter_mut().zip(r.gauges.iter()) {
+                dst.1 += src.1;
+            }
+            for (dst, src) in out.hists.iter_mut().zip(r.hists.iter()) {
+                for (c, s) in dst.counts.iter_mut().zip(src.counts.iter()) {
+                    *c += *s;
+                }
+            }
+            for (wi, w) in r.windows.iter().enumerate() {
+                if wi < out.windows.len() {
+                    for (d, s) in out.windows[wi].deltas.iter_mut().zip(w.deltas.iter()) {
+                        *d += *s;
+                    }
+                } else {
+                    out.windows.push(w.clone());
+                }
+            }
+        }
+        let n = reports.len() as f64;
+        for g in &mut out.gauges {
+            g.1 /= n;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_windows_roll_deltas() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("engine.arrivals");
+        let s = reg.counter("engine.served");
+        reg.inc(a, 3);
+        reg.roll(100.0);
+        reg.inc(a, 2);
+        reg.inc(s, 5);
+        reg.roll(200.0);
+        let rep = reg.report();
+        assert_eq!(
+            rep.counters,
+            vec![
+                ("engine.arrivals".to_string(), 5),
+                ("engine.served".to_string(), 5)
+            ]
+        );
+        assert_eq!(rep.windows.len(), 2);
+        assert_eq!(rep.windows[0].deltas, vec![3, 0]);
+        assert_eq!(rep.windows[1].deltas, vec![2, 5]);
+    }
+
+    #[test]
+    fn histogram_buckets_including_overflow() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("engine.response_secs", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            reg.observe(h, v);
+        }
+        let rep = reg.report();
+        assert_eq!(rep.hists[0].counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn gauge_keeps_last_value() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("engine.mpl");
+        reg.set_gauge(g, 4.0);
+        reg.set_gauge(g, 7.5);
+        assert_eq!(reg.report().gauges, vec![("engine.mpl".to_string(), 7.5)]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_averages_gauges() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("x.count");
+        let g = a.gauge("x.gauge");
+        let h = a.histogram("x.hist", &[1.0]);
+        a.inc(c, 2);
+        a.set_gauge(g, 1.0);
+        a.observe(h, 0.5);
+        a.roll(10.0);
+        let mut b = a.clone();
+        b.inc(c, 3);
+        b.set_gauge(g, 3.0);
+        b.observe(h, 2.0);
+        b.roll(20.0);
+        let (ra, rb) = (a.report(), b.report());
+        let merged = MetricsReport::merge(&[&ra, &rb]);
+        assert_eq!(merged.counters[0].1, 2 + 5);
+        assert_eq!(merged.gauges[0].1, 2.0);
+        assert_eq!(merged.hists[0].counts, vec![2, 1]);
+        assert_eq!(merged.windows.len(), 2);
+        assert_eq!(merged.windows[0].deltas, vec![2 + 2]);
+        assert_eq!(merged.windows[1].deltas, vec![3]);
+    }
+
+    #[test]
+    fn merge_of_empty_is_default() {
+        assert_eq!(MetricsReport::merge(&[]), MetricsReport::default());
+    }
+}

@@ -1,0 +1,545 @@
+//! Sim-time tracing: typed events, a pluggable sink, and a text renderer.
+//!
+//! A [`Tracer`] owns an event-kind bitmask and a sink (null, ring, or
+//! full, per [`TraceMode`]). `emit` is
+//! `#[inline]` and checks the mask first, so a disabled tracer costs one
+//! load, test, and (not-taken) branch per call site — the "compiles to
+//! nothing on the hot path" null sink the flight-recorder design calls for.
+
+use crate::{ObsConfig, TraceMode};
+use simkit::{Duration, SimTime};
+
+/// Event categories, one bit each, for the tracer's enable mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum TraceKind {
+    /// A query entered the system.
+    Arrival = 1 << 0,
+    /// An inter-arrival gap was drawn from the arrival process.
+    ArrivalGap = 1 << 1,
+    /// A query received its first non-zero memory grant.
+    Admission = 1 << 2,
+    /// A query's memory grant changed.
+    Grant = 1 << 3,
+    /// A CPU burst was submitted for a query.
+    Cpu = 1 << 4,
+    /// A disk request started service (cache hit or media access).
+    Io = 1 << 5,
+    /// A query left the system (commit or deadline miss).
+    Departure = 1 << 6,
+    /// The memory policy recorded a strategy/target decision.
+    PolicyDecision = 1 << 7,
+    /// A feedback batch closed.
+    Batch = 1 << 8,
+}
+
+impl TraceKind {
+    /// All kinds enabled.
+    pub const ALL: u16 = (1 << 9) - 1;
+
+    /// This kind's bit in the enable mask.
+    #[inline]
+    pub fn bit(self) -> u16 {
+        self as u16
+    }
+}
+
+/// The strategy mode a policy decision selected.
+///
+/// Mirror of `pmm::StrategyMode` (the `pmm` crate provides `From`
+/// conversions both ways); `Display` is byte-identical to the original so
+/// re-routed `TRACE_pmm_*.txt` artifacts keep their exact format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Allocate each admitted query its one-pass maximum.
+    Max,
+    /// Admit as many as possible at their minimum, top up leftovers.
+    MinMax,
+    /// Split memory proportionally to demand.
+    Proportional,
+}
+
+impl std::fmt::Display for PolicyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyMode::Max => write!(f, "Max"),
+            PolicyMode::MinMax => write!(f, "MinMax"),
+            PolicyMode::Proportional => write!(f, "Proportional"),
+        }
+    }
+}
+
+/// One typed trace event. All payloads are `Copy`; identifiers are raw
+/// integers so the crate stays independent of the engine's types.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A query entered the system.
+    Arrival {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Workload class index.
+        class: u32,
+    },
+    /// An inter-arrival gap was drawn (recorded even when the resulting
+    /// arrival falls past the horizon, matching `--record-arrivals`).
+    ArrivalGap {
+        /// Workload class index.
+        class: u32,
+        /// The gap in seconds, exactly as drawn.
+        gap_secs: f64,
+    },
+    /// First non-zero grant: the query finished its admission wait.
+    Admitted {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Time spent waiting for admission.
+        wait: Duration,
+    },
+    /// The query's page grant changed (including to zero).
+    GrantChanged {
+        /// Engine-assigned query id.
+        query: u64,
+        /// New grant in pages.
+        pages: u32,
+    },
+    /// A CPU burst was submitted to the scheduler.
+    CpuBurst {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Burst length in instructions.
+        instructions: u64,
+    },
+    /// A disk request started service.
+    Io {
+        /// Owning query id.
+        query: u64,
+        /// Disk index.
+        disk: u32,
+        /// Pages transferred.
+        pages: u32,
+        /// True for writes.
+        write: bool,
+        /// True when served from the buffer pool (service time zero).
+        cache_hit: bool,
+        /// Media service time (zero on cache hits).
+        service: Duration,
+    },
+    /// A query left the system.
+    Completed {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Workload class index.
+        class: u32,
+        /// True when the firm deadline was missed (abort), false on commit.
+        missed: bool,
+    },
+    /// The memory policy recorded a strategy decision.
+    PolicyDecision {
+        /// Strategy the policy switched to / reaffirmed.
+        mode: PolicyMode,
+        /// MPL target, when the strategy carries one.
+        target_mpl: Option<u32>,
+    },
+    /// A feedback batch closed (sample-size completions reached).
+    BatchClosed {
+        /// Queries served in the batch.
+        served: u64,
+        /// Deadline misses in the batch.
+        missed: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The kind bit this event belongs to.
+    #[inline]
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::Arrival { .. } => TraceKind::Arrival,
+            TraceEvent::ArrivalGap { .. } => TraceKind::ArrivalGap,
+            TraceEvent::Admitted { .. } => TraceKind::Admission,
+            TraceEvent::GrantChanged { .. } => TraceKind::Grant,
+            TraceEvent::CpuBurst { .. } => TraceKind::Cpu,
+            TraceEvent::Io { .. } => TraceKind::Io,
+            TraceEvent::Completed { .. } => TraceKind::Departure,
+            TraceEvent::PolicyDecision { .. } => TraceKind::PolicyDecision,
+            TraceEvent::BatchClosed { .. } => TraceKind::Batch,
+        }
+    }
+}
+
+/// A trace event stamped with the virtual time it happened at.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Where accepted records go.
+#[derive(Clone, Debug)]
+enum Sink {
+    /// Drop everything (the mask is zero too, so `emit` never reaches here).
+    Null,
+    /// Fixed-capacity circular buffer keeping the most recent records.
+    Ring {
+        buf: Vec<TraceRecord>,
+        head: usize,
+        cap: usize,
+    },
+    /// Unbounded in-memory log.
+    Full(Vec<TraceRecord>),
+}
+
+/// The recording front end: an enable mask plus a sink.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    mask: u16,
+    sink: Sink,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::off()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: mask zero, null sink, `emit` is a no-op branch.
+    pub fn off() -> Self {
+        Tracer {
+            mask: 0,
+            sink: Sink::Null,
+        }
+    }
+
+    /// Build from an [`ObsConfig`]: all kinds enabled unless the mode is
+    /// `Off`.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        let mask = match cfg.trace {
+            TraceMode::Off => 0,
+            _ => TraceKind::ALL,
+        };
+        Tracer::with_mask(cfg.trace, cfg.ring_capacity, mask)
+    }
+
+    /// Build with an explicit enable mask (bits from [`TraceKind::bit`]).
+    /// A zero mask forces the null sink regardless of `mode`.
+    pub fn with_mask(mode: TraceMode, ring_capacity: usize, mask: u16) -> Self {
+        let sink = if mask == 0 {
+            Sink::Null
+        } else {
+            match mode {
+                TraceMode::Off => Sink::Null,
+                TraceMode::Ring => Sink::Ring {
+                    buf: Vec::with_capacity(ring_capacity.min(1 << 20)),
+                    head: 0,
+                    cap: ring_capacity.max(1),
+                },
+                TraceMode::Full => Sink::Full(Vec::new()),
+            }
+        };
+        let mask = match sink {
+            Sink::Null => 0,
+            _ => mask,
+        };
+        Tracer { mask, sink }
+    }
+
+    /// True when `kind` events are being recorded.
+    #[inline]
+    pub fn wants(&self, kind: TraceKind) -> bool {
+        self.mask & kind.bit() != 0
+    }
+
+    /// True when nothing is recorded (the hot-path fast case).
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Record `event` at virtual time `at`, if its kind is enabled.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        if self.mask & event.kind().bit() == 0 {
+            return;
+        }
+        self.push(TraceRecord { at, event });
+    }
+
+    #[inline(never)]
+    fn push(&mut self, rec: TraceRecord) {
+        match &mut self.sink {
+            Sink::Null => {}
+            Sink::Ring { buf, head, cap } => {
+                if buf.len() < *cap {
+                    buf.push(rec);
+                } else {
+                    buf[*head] = rec;
+                    *head = (*head + 1) % *cap;
+                }
+            }
+            Sink::Full(v) => v.push(rec),
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        match &self.sink {
+            Sink::Null => 0,
+            Sink::Ring { buf, .. } => buf.len(),
+            Sink::Full(v) => v.len(),
+        }
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the held records in chronological order (ring buffers are
+    /// unrotated first). The tracer keeps recording afterwards.
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        match &mut self.sink {
+            Sink::Null => Vec::new(),
+            Sink::Ring { buf, head, .. } => {
+                let mut out = Vec::with_capacity(buf.len());
+                out.extend_from_slice(&buf[*head..]);
+                out.extend_from_slice(&buf[..*head]);
+                buf.clear();
+                *head = 0;
+                out
+            }
+            Sink::Full(v) => std::mem::take(v),
+        }
+    }
+}
+
+/// Render records as deterministic text, one line per record.
+///
+/// Times are seconds formatted with Rust's shortest-roundtrip `{:?}`, so
+/// the output is byte-identical for identical records — across runs,
+/// seeds, and driver thread counts.
+pub fn render_text(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 48);
+    for r in records {
+        let t = r.at.as_secs_f64();
+        match r.event {
+            TraceEvent::Arrival { query, class } => {
+                out.push_str(&format!("{t:?} arrival query={query} class={class}\n"));
+            }
+            TraceEvent::ArrivalGap { class, gap_secs } => {
+                out.push_str(&format!("{t:?} gap class={class} secs={gap_secs:?}\n"));
+            }
+            TraceEvent::Admitted { query, wait } => {
+                out.push_str(&format!(
+                    "{t:?} admitted query={query} wait={:?}\n",
+                    wait.as_secs_f64()
+                ));
+            }
+            TraceEvent::GrantChanged { query, pages } => {
+                out.push_str(&format!("{t:?} grant query={query} pages={pages}\n"));
+            }
+            TraceEvent::CpuBurst {
+                query,
+                instructions,
+            } => {
+                out.push_str(&format!("{t:?} cpu query={query} instr={instructions}\n"));
+            }
+            TraceEvent::Io {
+                query,
+                disk,
+                pages,
+                write,
+                cache_hit,
+                service,
+            } => {
+                let kind = if write { "write" } else { "read" };
+                out.push_str(&format!(
+                    "{t:?} io query={query} disk={disk} pages={pages} kind={kind} hit={cache_hit} service={:?}\n",
+                    service.as_secs_f64()
+                ));
+            }
+            TraceEvent::Completed {
+                query,
+                class,
+                missed,
+            } => {
+                out.push_str(&format!(
+                    "{t:?} done query={query} class={class} missed={missed}\n"
+                ));
+            }
+            TraceEvent::PolicyDecision { mode, target_mpl } => {
+                let target = target_mpl.map_or("-".to_string(), |m| m.to_string());
+                out.push_str(&format!("{t:?} policy mode={mode} target={target}\n"));
+            }
+            TraceEvent::BatchClosed { served, missed } => {
+                out.push_str(&format!("{t:?} batch served={served} missed={missed}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(us: u64, q: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(us),
+            event: TraceEvent::Arrival { query: q, class: 0 },
+        }
+    }
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        assert!(t.is_off());
+        t.emit(SimTime(1), TraceEvent::Arrival { query: 0, class: 0 });
+        assert!(t.is_empty());
+        assert!(t.take_records().is_empty());
+    }
+
+    #[test]
+    fn full_sink_keeps_everything_in_order() {
+        let cfg = ObsConfig {
+            trace: TraceMode::Full,
+            ..ObsConfig::default()
+        };
+        let mut t = Tracer::new(&cfg);
+        for i in 0..10 {
+            t.emit(rec(i, i).at, rec(i, i).event);
+        }
+        let got = t.take_records();
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent_in_order() {
+        let cfg = ObsConfig {
+            trace: TraceMode::Ring,
+            ring_capacity: 4,
+            ..ObsConfig::default()
+        };
+        let mut t = Tracer::new(&cfg);
+        for i in 0..11u64 {
+            t.emit(SimTime(i), TraceEvent::Arrival { query: i, class: 0 });
+        }
+        let got = t.take_records();
+        assert_eq!(got.len(), 4);
+        let qs: Vec<u64> = got
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Arrival { query, .. } => query,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(qs, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn mask_filters_kinds() {
+        let mut t = Tracer::with_mask(TraceMode::Full, 0, TraceKind::ArrivalGap.bit());
+        assert!(t.wants(TraceKind::ArrivalGap));
+        assert!(!t.wants(TraceKind::Arrival));
+        t.emit(SimTime(1), TraceEvent::Arrival { query: 0, class: 0 });
+        t.emit(
+            SimTime(2),
+            TraceEvent::ArrivalGap {
+                class: 0,
+                gap_secs: 0.5,
+            },
+        );
+        let got = t.take_records();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].event, TraceEvent::ArrivalGap { .. }));
+    }
+
+    #[test]
+    fn zero_mask_forces_null_sink() {
+        let t = Tracer::with_mask(TraceMode::Full, 0, 0);
+        assert!(t.is_off());
+    }
+
+    #[test]
+    fn render_text_is_deterministic_and_covers_all_kinds() {
+        let records = vec![
+            TraceRecord {
+                at: SimTime(1_000_000),
+                event: TraceEvent::Arrival { query: 1, class: 0 },
+            },
+            TraceRecord {
+                at: SimTime(1_000_000),
+                event: TraceEvent::ArrivalGap {
+                    class: 0,
+                    gap_secs: 12.25,
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_500_000),
+                event: TraceEvent::Admitted {
+                    query: 1,
+                    wait: Duration(500_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_500_000),
+                event: TraceEvent::GrantChanged {
+                    query: 1,
+                    pages: 40,
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_600_000),
+                event: TraceEvent::CpuBurst {
+                    query: 1,
+                    instructions: 5000,
+                },
+            },
+            TraceRecord {
+                at: SimTime(1_700_000),
+                event: TraceEvent::Io {
+                    query: 1,
+                    disk: 0,
+                    pages: 8,
+                    write: false,
+                    cache_hit: false,
+                    service: Duration(21_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_000_000),
+                event: TraceEvent::Completed {
+                    query: 1,
+                    class: 0,
+                    missed: false,
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_000_000),
+                event: TraceEvent::PolicyDecision {
+                    mode: PolicyMode::MinMax,
+                    target_mpl: Some(12),
+                },
+            },
+            TraceRecord {
+                at: SimTime(2_000_000),
+                event: TraceEvent::BatchClosed {
+                    served: 30,
+                    missed: 4,
+                },
+            },
+        ];
+        let a = render_text(&records);
+        let b = render_text(&records);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), records.len());
+        assert!(a.contains("1.0 arrival query=1 class=0"));
+        assert!(a.contains("gap class=0 secs=12.25"));
+        assert!(a.contains("policy mode=MinMax target=12"));
+        assert!(a.contains("io query=1 disk=0 pages=8 kind=read hit=false service=0.021"));
+    }
+}

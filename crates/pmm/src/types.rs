@@ -58,6 +58,26 @@ impl std::fmt::Display for StrategyMode {
     }
 }
 
+impl From<StrategyMode> for obs::PolicyMode {
+    fn from(m: StrategyMode) -> Self {
+        match m {
+            StrategyMode::Max => obs::PolicyMode::Max,
+            StrategyMode::MinMax => obs::PolicyMode::MinMax,
+            StrategyMode::Proportional => obs::PolicyMode::Proportional,
+        }
+    }
+}
+
+impl From<obs::PolicyMode> for StrategyMode {
+    fn from(m: obs::PolicyMode) -> Self {
+        match m {
+            obs::PolicyMode::Max => StrategyMode::Max,
+            obs::PolicyMode::MinMax => StrategyMode::MinMax,
+            obs::PolicyMode::Proportional => StrategyMode::Proportional,
+        }
+    }
+}
+
 /// Feedback handed to adaptive policies after every `SampleSize` query
 /// completions (Section 3: PMM re-evaluates its decisions at this
 /// frequency).
@@ -154,5 +174,18 @@ mod tests {
     fn mode_display() {
         assert_eq!(StrategyMode::Max.to_string(), "Max");
         assert_eq!(StrategyMode::MinMax.to_string(), "MinMax");
+    }
+
+    #[test]
+    fn mode_roundtrips_through_obs_with_identical_display() {
+        for m in [
+            StrategyMode::Max,
+            StrategyMode::MinMax,
+            StrategyMode::Proportional,
+        ] {
+            let p: obs::PolicyMode = m.into();
+            assert_eq!(p.to_string(), m.to_string());
+            assert_eq!(StrategyMode::from(p), m);
+        }
     }
 }

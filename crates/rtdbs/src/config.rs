@@ -8,6 +8,7 @@
 //! re-exported here for convenience.
 
 use exec::ExecConfig;
+pub use obs::{ObsConfig, TraceMode};
 pub use storage::{DeviceSpec, EvictionSpec, SsdSpec};
 use storage::{DiskGeometry, RelationGroupSpec};
 pub use workload::{
@@ -76,6 +77,11 @@ pub enum ConfigError {
     ZeroMemory,
     /// A non-positive or non-finite simulated duration.
     NonPositiveDuration,
+    /// A non-positive or non-finite miss-ratio/metrics window length —
+    /// the fig12 window machinery would never (or always) roll.
+    NonPositiveWindow,
+    /// Flight-recorder tracing requested with a zero-capacity ring.
+    ZeroRingCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -90,6 +96,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMemory => "resources.memory_pages must be positive",
             ConfigError::NonPositiveDuration => {
                 "duration_secs must be positive and finite"
+            }
+            ConfigError::NonPositiveWindow => "window_secs must be positive and finite",
+            ConfigError::ZeroRingCapacity => {
+                "obs.ring_capacity must be positive for ring tracing"
             }
         };
         f.write_str(msg)
@@ -127,8 +137,13 @@ pub struct SimConfig {
     /// Record every class's inter-arrival gaps into
     /// `RunReport::arrival_gaps` so the run can be replayed through
     /// `workload::Trace` (`--record-arrivals` in the driver). Metric-only:
-    /// recording never changes the simulation.
+    /// recording never changes the simulation. Routed through the obs
+    /// trace sink: setting it forces a full sink with (at least) the
+    /// arrival-gap event kind enabled.
     pub record_arrivals: bool,
+    /// Observability switches (tracing, metrics, profiling). All off by
+    /// default; never changes simulated behavior, only what is recorded.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -170,6 +185,7 @@ impl SimConfig {
             window_secs: 1_200.0,
             firm_deadlines: true,
             record_arrivals: false,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -230,6 +246,12 @@ impl SimConfig {
         }
         if !(self.duration_secs > 0.0 && self.duration_secs.is_finite()) {
             return Err(ConfigError::NonPositiveDuration);
+        }
+        if !(self.window_secs > 0.0 && self.window_secs.is_finite()) {
+            return Err(ConfigError::NonPositiveWindow);
+        }
+        if self.obs.trace == TraceMode::Ring && self.obs.ring_capacity == 0 {
+            return Err(ConfigError::ZeroRingCapacity);
         }
         Ok(())
     }
@@ -540,6 +562,25 @@ mod tests {
         assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDuration));
         cfg.duration_secs = f64::NAN;
         assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDuration));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.window_secs = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveWindow));
+        cfg.window_secs = f64::INFINITY;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveWindow));
+        cfg.window_secs = -1.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveWindow));
+
+        let mut cfg = SimConfig::baseline(0.06);
+        cfg.obs.trace = TraceMode::Ring;
+        cfg.obs.ring_capacity = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRingCapacity));
+        cfg.obs.ring_capacity = 16;
+        assert_eq!(cfg.validate(), Ok(()));
+        // A zero ring capacity is fine when the ring is not in use.
+        cfg.obs.trace = TraceMode::Full;
+        cfg.obs.ring_capacity = 0;
+        assert_eq!(cfg.validate(), Ok(()));
 
         // Errors render as readable one-liners.
         assert_eq!(

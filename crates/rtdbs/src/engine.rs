@@ -33,6 +33,10 @@ use crate::metrics::{
     ClassOutcome, RunReport, TenantOutcome, TimingTallies, WindowPoint,
 };
 use exec::{Action, ActionRun, ExternalSort, FileRef, HashJoin, Operator};
+use obs::{
+    CounterId, GaugeId, HistId, MetricsRegistry, Profiler, Section, TraceEvent,
+    TraceKind, TraceMode, Tracer,
+};
 use pmm::{
     AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
 };
@@ -42,7 +46,9 @@ use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
 use stats::SampleSummary;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use storage::{Access, DiskFarm, FileId, FileMeta, Layout, RelationMeta, Service};
+use storage::{
+    Access, DiskFarm, FileId, FileMeta, IoKind, Layout, RelationMeta, Service,
+};
 use workload::ArrivalProcess;
 
 /// Calendar event payloads.
@@ -357,6 +363,58 @@ impl QueryTable {
     }
 }
 
+/// Response-time histogram buckets (seconds): fixed so every replication
+/// of every cell produces mergeable, byte-identical bucket layouts.
+const RESPONSE_BUCKETS: &[f64] =
+    &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0];
+
+/// The engine's metrics instruments, pre-registered so every update on the
+/// hot path is a plain array index. Counter registration order fixes the
+/// windowed-delta column order in `MetricsReport` (naming convention:
+/// `<subsystem>.<noun>`, see the README "Observability" section).
+struct ObsMetrics {
+    reg: MetricsRegistry,
+    arrivals: CounterId,
+    served: CounterId,
+    missed: CounterId,
+    reallocations: CounterId,
+    batches: CounterId,
+    cpu_bursts: CounterId,
+    io_requests: CounterId,
+    cache_hits: CounterId,
+    mpl: GaugeId,
+    response: HistId,
+}
+
+impl ObsMetrics {
+    fn new() -> Self {
+        let mut reg = MetricsRegistry::new();
+        let arrivals = reg.counter("engine.arrivals");
+        let served = reg.counter("engine.served");
+        let missed = reg.counter("engine.missed");
+        let reallocations = reg.counter("pmm.reallocations");
+        let batches = reg.counter("pmm.batches");
+        let cpu_bursts = reg.counter("cpu.bursts");
+        let io_requests = reg.counter("disk.requests");
+        let cache_hits = reg.counter("disk.cache_hits");
+        let mpl = reg.gauge("engine.mpl");
+        let response = reg.histogram("engine.response_secs", RESPONSE_BUCKETS);
+        ObsMetrics {
+            reg,
+            arrivals,
+            served,
+            missed,
+            reallocations,
+            batches,
+            cpu_bursts,
+            io_requests,
+            cache_hits,
+            mpl,
+            response,
+        }
+    }
+}
+
 /// The simulator. Construct with [`Simulator::new`], execute with
 /// [`Simulator::run`].
 pub struct Simulator {
@@ -408,8 +466,14 @@ pub struct Simulator {
     // per-tenant feedback batches are routed to the policy.
     tenants: Vec<TenantState>,
     tenant_feedback: bool,
-    // Recorded inter-arrival gaps per class (only when cfg.record_arrivals).
-    recorded_gaps: Vec<Vec<f64>>,
+    // Observability: the single recording path (arrival gaps, the query
+    // lifecycle, policy decisions all flow through this sink), the
+    // pre-registered metrics instruments, and the wall-clock profiler.
+    tracer: Tracer,
+    obs_metrics: Option<Box<ObsMetrics>>,
+    profiler: Profiler,
+    /// Policy trace points already forwarded into the obs trace.
+    policy_trace_seen: usize,
     // Re-entrancy guard for reallocation.
     reallocating: bool,
     realloc_pending: bool,
@@ -446,11 +510,26 @@ impl Simulator {
             .map(|t| TenantState::new(t.name.clone(), t.quota_pages, t.soft, start))
             .collect();
         let tenant_feedback = !tenants.is_empty() && policy.wants_tenant_feedback();
-        let recorded_gaps = if cfg.record_arrivals {
-            vec![Vec::new(); n_classes]
-        } else {
-            Vec::new()
+        // One recording path: `--record-arrivals` routes through the obs
+        // sink too. It needs every gap, so it forces a full (non-evicting)
+        // sink and enables (at least) the arrival-gap event kind.
+        let tracer = {
+            let mode = if cfg.record_arrivals {
+                TraceMode::Full
+            } else {
+                cfg.obs.trace
+            };
+            let mut mask = match cfg.obs.trace {
+                TraceMode::Off => 0,
+                _ => TraceKind::ALL,
+            };
+            if cfg.record_arrivals {
+                mask |= TraceKind::ArrivalGap.bit();
+            }
+            Tracer::with_mask(mode, cfg.obs.ring_capacity, mask)
         };
+        let obs_metrics = cfg.obs.metrics.then(|| Box::new(ObsMetrics::new()));
+        let profiler = Profiler::new(cfg.obs.profile);
         Simulator {
             cal: Calendar::new(),
             layout,
@@ -510,7 +589,10 @@ impl Simulator {
             batch_char_norm: Tally::new(),
             tenants,
             tenant_feedback,
-            recorded_gaps,
+            tracer,
+            obs_metrics,
+            profiler,
+            policy_trace_seen: 0,
             reallocating: false,
             realloc_pending: false,
             end,
@@ -524,14 +606,23 @@ impl Simulator {
             self.schedule_next_arrival(class, SimTime::ZERO);
         }
         self.cal.schedule(self.end, Event::EndOfRun);
-        while let Some((t, event)) = self.cal.pop() {
+        loop {
+            let t0 = self.profiler.begin();
+            let popped = self.cal.pop();
+            self.profiler.end(Section::CalendarPop, t0);
+            let Some((t, event)) = popped else { break };
+            if matches!(event, Event::EndOfRun) {
+                break;
+            }
+            let t0 = self.profiler.begin();
             match event {
-                Event::EndOfRun => break,
+                Event::EndOfRun => {}
                 Event::Arrival { class } => self.on_arrival(t, class),
                 Event::CpuDone { query } => self.on_cpu_done(t, query),
                 Event::DiskDone { disk } => self.on_disk_done(t, disk),
                 Event::Deadline { query } => self.on_deadline(t, query),
             }
+            self.profiler.end(Section::Dispatch, t0);
         }
         self.finish_report()
     }
@@ -547,10 +638,18 @@ impl Simulator {
         else {
             return;
         };
-        if self.cfg.record_arrivals {
-            // Microsecond ticks round-trip exactly through f64 at any
-            // realistic horizon, so a recorded trace replays bit-for-bit.
-            self.recorded_gaps[class].push(gap.as_secs_f64());
+        // Microsecond ticks round-trip exactly through f64 at any realistic
+        // horizon, so a recorded trace replays bit-for-bit. Emitted before
+        // the horizon check (like the pre-obs recorder): replay consumes
+        // the final past-horizon gap too.
+        if !self.tracer.is_off() {
+            self.tracer.emit(
+                now,
+                TraceEvent::ArrivalGap {
+                    class: class as u32,
+                    gap_secs: gap.as_secs_f64(),
+                },
+            );
         }
         let at = now + gap;
         if at < self.end {
@@ -638,6 +737,16 @@ impl Simulator {
             let handle = self.cal.schedule(deadline, Event::Deadline { query: id });
             self.live.slot_mut(slot).deadline_handle = Some(handle);
         }
+        self.tracer.emit(
+            now,
+            TraceEvent::Arrival {
+                query: id.0,
+                class: class as u32,
+            },
+        );
+        if let Some(m) = &mut self.obs_metrics {
+            m.reg.inc(m.arrivals, 1);
+        }
         self.reallocate(now);
     }
 
@@ -702,8 +811,12 @@ impl Simulator {
             return;
         }
         self.reallocating = true;
+        let t0 = self.profiler.begin();
         loop {
             self.realloc_pending = false;
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.inc(m.reallocations, 1);
+            }
             self.snapshot.now = now;
             self.snapshot.total_memory = self.cfg.resources.memory_pages;
             self.snapshot.queries.clear();
@@ -751,6 +864,7 @@ impl Simulator {
                 break;
             }
         }
+        self.profiler.end(Section::Reallocate, t0);
         self.reallocating = false;
     }
 
@@ -767,11 +881,26 @@ impl Simulator {
         }
         q.op.set_allocation(new);
         q.granted = new;
+        let mut admitted_wait = None;
         if new > 0 && q.first_admit.is_none() {
             q.first_admit = Some(now);
+            admitted_wait = Some(now.since(q.arrival));
         }
         let should_drive =
             q.waiting == Waiting::Nothing && (new > 0 || q.first_admit.is_some());
+        if !self.tracer.is_off() {
+            self.tracer.emit(
+                now,
+                TraceEvent::GrantChanged {
+                    query: id.0,
+                    pages: new,
+                },
+            );
+            if let Some(wait) = admitted_wait {
+                self.tracer
+                    .emit(now, TraceEvent::Admitted { query: id.0, wait });
+            }
+        }
         if should_drive {
             self.drive(now, id);
         }
@@ -816,6 +945,9 @@ impl Simulator {
         };
         self.mpl_run.set(now, holders);
         self.mpl_batch.set(now, holders);
+        if let Some(m) = &mut self.obs_metrics {
+            m.reg.set_gauge(m.mpl, holders);
+        }
     }
 
     // ----- Query manager --------------------------------------------------
@@ -847,6 +979,16 @@ impl Simulator {
                 Action::Cpu(instr) => {
                     q.waiting = Waiting::Cpu;
                     let deadline = q.deadline;
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::CpuBurst {
+                            query: id.0,
+                            instructions: instr,
+                        },
+                    );
+                    if let Some(m) = &mut self.obs_metrics {
+                        m.reg.inc(m.cpu_bursts, 1);
+                    }
                     self.cpu.submit(now, id, deadline, instr, &mut self.cal);
                     return;
                 }
@@ -930,8 +1072,34 @@ impl Simulator {
     }
 
     fn pump_disk(&mut self, now: SimTime, disk: usize) {
-        if let Some((access, service)) = self.disks.disk_mut(disk).start(now) {
+        let t0 = self.profiler.begin();
+        let started = self.disks.disk_mut(disk).start(now);
+        self.profiler.end(Section::DiskStart, t0);
+        if let Some((access, service)) = started {
             self.disk_inflight[disk] = Some(QueryId(access.owner));
+            if !self.tracer.is_off() || self.obs_metrics.is_some() {
+                let (cache_hit, svc) = match service {
+                    Service::CacheHit => (true, Duration::ZERO),
+                    Service::Media { time, .. } => (false, time),
+                };
+                self.tracer.emit(
+                    now,
+                    TraceEvent::Io {
+                        query: access.owner,
+                        disk: disk as u32,
+                        pages: access.pages,
+                        write: access.kind == IoKind::Write,
+                        cache_hit,
+                        service: svc,
+                    },
+                );
+                if let Some(m) = &mut self.obs_metrics {
+                    m.reg.inc(m.io_requests, 1);
+                    if cache_hit {
+                        m.reg.inc(m.cache_hits, 1);
+                    }
+                }
+            }
             match service {
                 Service::CacheHit => {
                     // Satisfied from the prefetch cache: completes now.
@@ -988,6 +1156,22 @@ impl Simulator {
     /// Common bookkeeping when a query leaves the system (completion or
     /// firm miss).
     fn record_served(&mut self, now: SimTime, q: &LiveQuery, missed: bool) {
+        self.tracer.emit(
+            now,
+            TraceEvent::Completed {
+                query: q.id.0,
+                class: q.class as u32,
+                missed,
+            },
+        );
+        if let Some(m) = &mut self.obs_metrics {
+            m.reg.inc(m.served, 1);
+            if missed {
+                m.reg.inc(m.missed, 1);
+            }
+            m.reg
+                .observe(m.response, now.since(q.arrival).as_secs_f64());
+        }
         self.served += 1;
         self.window_served += 1;
         self.batch_served += 1;
@@ -1072,11 +1256,16 @@ impl Simulator {
     fn roll_windows(&mut self, now: SimTime) {
         let window = Duration::from_secs_f64(self.cfg.window_secs);
         while now >= self.window_start + window {
+            let t_secs = (self.window_start + window).as_secs_f64();
             self.windows.push(WindowPoint {
-                t_secs: (self.window_start + window).as_secs_f64(),
+                t_secs,
                 served: self.window_served,
                 missed: self.window_missed,
             });
+            // Metrics snapshots roll on exactly the fig12 boundaries.
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.roll(t_secs);
+            }
             self.window_start += window;
             self.window_served = 0;
             self.window_missed = 0;
@@ -1106,6 +1295,17 @@ impl Simulator {
             char_norm_constraint: to_summary(&self.batch_char_norm),
         };
         self.policy.on_batch(&stats);
+        self.tracer.emit(
+            now,
+            TraceEvent::BatchClosed {
+                served: stats.served,
+                missed: stats.missed,
+            },
+        );
+        self.emit_policy_decisions();
+        if let Some(m) = &mut self.obs_metrics {
+            m.reg.inc(m.batches, 1);
+        }
         // Reset the batch windows.
         self.batch_served = 0;
         self.batch_missed = 0;
@@ -1160,8 +1360,30 @@ impl Simulator {
         t.b_char_ios.reset();
         t.b_char_norm.reset();
         self.policy.on_tenant_batch(ti as u32, &stats);
+        self.emit_policy_decisions();
         // The tenant's controller may have changed its strategy.
         self.reallocate(now);
+    }
+
+    /// Forward policy trace points recorded since the last check into the
+    /// obs trace, each stamped with its own decision time (regime-aware
+    /// policies may record segmentation points that predate the batch
+    /// boundary that surfaced them).
+    fn emit_policy_decisions(&mut self) {
+        if !self.tracer.wants(TraceKind::PolicyDecision) {
+            return;
+        }
+        let points = self.policy.trace();
+        for p in &points[self.policy_trace_seen.min(points.len())..] {
+            self.tracer.emit(
+                p.at,
+                TraceEvent::PolicyDecision {
+                    mode: p.mode.into(),
+                    target_mpl: p.target_mpl,
+                },
+            );
+        }
+        self.policy_trace_seen = points.len();
     }
 
     fn finish_report(mut self) -> RunReport {
@@ -1173,7 +1395,35 @@ impl Simulator {
                 served: self.window_served,
                 missed: self.window_missed,
             });
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.roll(now.as_secs_f64());
+            }
         }
+        // Catch policy decisions recorded since the last batch boundary,
+        // then drain the sink once for both consumers: the structured
+        // trace and the per-class arrival-gap sequences.
+        self.emit_policy_decisions();
+        let obs_records = self.tracer.take_records();
+        let arrival_gaps = if self.cfg.record_arrivals {
+            let mut gaps = vec![Vec::new(); self.cfg.classes.len()];
+            for r in &obs_records {
+                if let TraceEvent::ArrivalGap { class, gap_secs } = r.event {
+                    gaps[class as usize].push(gap_secs);
+                }
+            }
+            gaps
+        } else {
+            Vec::new()
+        };
+        // The structured trace is surfaced only when obs tracing was asked
+        // for; a bare `record_arrivals` run keeps the report lean.
+        let obs_trace = if self.cfg.obs.trace != TraceMode::Off {
+            obs_records
+        } else {
+            Vec::new()
+        };
+        let metrics = self.obs_metrics.as_ref().map(|m| m.reg.report());
+        let profile = self.profiler.report();
         let disk_util = self
             .disk_util_run
             .iter()
@@ -1214,7 +1464,10 @@ impl Simulator {
             miss_ci_half_width: self.miss_series.half_width(1.645),
             sim_secs: now.as_secs_f64(),
             events: self.cal.events_dispatched(),
-            arrival_gaps: self.recorded_gaps,
+            arrival_gaps,
+            obs_trace,
+            metrics,
+            profile,
         }
     }
 }

@@ -24,9 +24,9 @@ pub mod engine;
 pub mod metrics;
 
 pub use config::{
-    AlternationSchedule, ArrivalSpec, ConfigError, DeviceSpec, EvictionSpec,
+    AlternationSchedule, ArrivalSpec, ConfigError, DeviceSpec, EvictionSpec, ObsConfig,
     PhaseSchedule, QueryType, ResourceConfig, Scenario, SimConfig, SsdSpec, TenantSpec,
-    WorkloadClass,
+    TraceMode, WorkloadClass,
 };
 pub use engine::{run_simulation, Event, Simulator};
 pub use metrics::{ClassOutcome, RunReport, TenantOutcome, Timings, WindowPoint};

@@ -139,6 +139,20 @@ pub struct RunReport {
     /// (`ArrivalSpec::Trace { gaps, repeat: false }`). Excluded from
     /// goldens and figure JSON — it is trace tooling, not a metric.
     pub arrival_gaps: Vec<Vec<f64>>,
+    /// Structured sim-time trace (arrivals, admissions, grants, CPU/I/O
+    /// bursts, departures, policy decisions, batch boundaries), populated
+    /// when `SimConfig::obs.trace` is not `TraceMode::Off`. Chronological;
+    /// ring mode keeps only the most recent records. Excluded from goldens
+    /// and figure JSON — observability, not a metric.
+    pub obs_trace: Vec<obs::TraceRecord>,
+    /// Frozen metrics registry (counters/gauges/histograms + windowed
+    /// counter deltas), populated when `SimConfig::obs.metrics` is set.
+    /// Excluded from goldens and figure JSON.
+    pub metrics: Option<obs::MetricsReport>,
+    /// Wall-clock self-profile per engine subsystem, populated when
+    /// `SimConfig::obs.profile` is set. Machine-dependent: excluded from
+    /// goldens, figure JSON, and every byte-identity guarantee.
+    pub profile: Option<obs::ProfileReport>,
 }
 
 impl RunReport {
