@@ -14,7 +14,7 @@
 //! ```
 //!
 //! Flags: `--figure
-//! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|all>`
+//! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|faults|all>`
 //! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
 //! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
 //! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
@@ -42,7 +42,16 @@
 //! seeds) in their `windows` array. `--figure devices` crosses the storage
 //! service models (cylinder disk vs. SSD) with the buffer-pool eviction
 //! policies (LRU vs. LRU-2) at two baseline arrival rates; each cell's
-//! policy name reads `"<device>+<eviction>/<policy>"`.
+//! policy name reads `"<device>+<eviction>/<policy>"`. `--figure faults`
+//! sweeps fault-plan intensity (0 = fault-free control) × degradation
+//! policy; each cell's policy name reads `"<mode>/<policy>"` with mode
+//! `abort` or `requeue`. Under `--trace` the faults figure streams each
+//! cell's structured trace straight to `TRACE_obs_faults_cell<i>.txt`
+//! instead of buffering it in memory (so no Chrome export is produced for
+//! streamed cells). A replication that panics does not abort the sweep:
+//! the surviving cells complete and the failed units are written to
+//! `BENCH_<figure>_quarantine.json` with their cell, policy, replication
+//! index, and seed.
 //!
 //! **Report mode** (positional artifact name): the original single-seed
 //! text reports in the paper's layout.
@@ -56,7 +65,8 @@
 //! fig11 fig12_14 fig15 fig16 fig17 fig18 util_low scale ablation all
 
 use bench::driver::{
-    metrics_json, perf_json, profile_json, run_figure, DriverConfig, FIGURES,
+    metrics_json, perf_json, profile_json, quarantine_json, run_figure, DriverConfig,
+    FIGURES,
 };
 use bench::*;
 use pmm_core::obs;
@@ -163,6 +173,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         record_pmm_decisions: args.iter().any(|a| a == "--record-pmm-decisions"),
         trace: args.iter().any(|a| a == "--trace"),
         profile: args.iter().any(|a| a == "--profile"),
+        stream_dir: None,
     };
     if cfg.seeds == 0 {
         return Err("--seeds must be at least 1".into());
@@ -179,7 +190,18 @@ fn run_driver(args: &[String]) -> Result<(), String> {
     let mut profiles: Vec<(String, obs::ProfileReport)> = Vec::new();
     for figure in &figures {
         let started = std::time::Instant::now();
-        let result = run_figure(figure, cfg)?;
+        let mut fig_cfg = cfg.clone();
+        // The faults sweep streams its structured traces to disk as the
+        // runs progress — fault storms under Full tracing would otherwise
+        // buffer large rings per cell.
+        let streamed = figure == "faults"
+            && fig_cfg.trace
+            && !fig_cfg.record_arrivals
+            && !fig_cfg.record_pmm_decisions;
+        if streamed {
+            fig_cfg.stream_dir = Some(out_dir.clone());
+        }
+        let result = run_figure(figure, fig_cfg)?;
         print!("{}", result.render());
         let path = out_dir.join(format!("BENCH_{figure}.json"));
         std::fs::write(&path, result.to_json())
@@ -280,6 +302,29 @@ fn run_driver(args: &[String]) -> Result<(), String> {
                 metrics_path.display()
             );
         }
+        if streamed {
+            println!(
+                "streamed {} structured trace file(s) to {} \
+                 (TRACE_obs_{figure}_cell<i>.txt; no Chrome export for \
+                 streamed cells)",
+                result.cells.len(),
+                out_dir.display()
+            );
+        }
+        // Quarantined replications: the sweep survived a panicking unit.
+        // Keep the exit status green — the partial results are valid and
+        // deterministic — but say so loudly and leave the evidence behind.
+        if !result.quarantine.is_empty() {
+            let q_path = out_dir.join(format!("BENCH_{figure}_quarantine.json"));
+            std::fs::write(&q_path, quarantine_json(&result))
+                .map_err(|e| format!("cannot write {}: {e}", q_path.display()))?;
+            eprintln!(
+                "warning: {} replication(s) of {figure} panicked and were \
+                 quarantined; see {}",
+                result.quarantine.len(),
+                q_path.display()
+            );
+        }
         if let Some(p) = &result.profile {
             profiles.push((figure.clone(), p.clone()));
         }
@@ -289,7 +334,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
     // byte-identical across machines and thread counts, BENCH_perf.json
     // deliberately is not.
     let perf_path = out_dir.join("BENCH_perf.json");
-    std::fs::write(&perf_path, perf_json(cfg, &perf))
+    std::fs::write(&perf_path, perf_json(&cfg, &perf))
         .map_err(|e| format!("cannot write {}: {e}", perf_path.display()))?;
     println!(
         "wrote {} (perf trajectory; not determinism-pinned)",
@@ -299,7 +344,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
     // machine-dependent like the perf trajectory, and kept apart from it.
     if !profiles.is_empty() {
         let profile_path = out_dir.join("BENCH_profile.json");
-        std::fs::write(&profile_path, profile_json(cfg, &profiles))
+        std::fs::write(&profile_path, profile_json(&cfg, &profiles))
             .map_err(|e| format!("cannot write {}: {e}", profile_path.display()))?;
         println!(
             "wrote {} (self-profile; not determinism-pinned)",

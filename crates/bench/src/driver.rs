@@ -26,10 +26,12 @@ use std::sync::OnceLock;
 
 /// Names of the figure experiments the driver knows how to shard. Beyond
 /// the paper's figures, `burst` sweeps MMPP burst ratios, `tenants` sweeps
-/// multi-tenant quota splits, and `devices` crosses the storage service
-/// models with the buffer-pool eviction policies.
-pub const FIGURES: [&str; 9] = [
+/// multi-tenant quota splits, `devices` crosses the storage service models
+/// with the buffer-pool eviction policies, and `faults` sweeps fault-storm
+/// intensity × degradation policy.
+pub const FIGURES: [&str; 10] = [
     "fig3", "fig8", "fig11", "fig12", "fig16", "fig17", "burst", "tenants", "devices",
+    "faults",
 ];
 
 /// Two-sided 90% Student-t quantile (`t_{0.95, df}`) for the given degrees
@@ -157,6 +159,36 @@ pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
                 })
                 .collect(),
         },
+        "faults" => FigureSpec {
+            name: "faults",
+            x_label: "fault intensity (0 = fault-free control)",
+            // Degradation mode rides in the cell's policy name
+            // ("requeue/PMM") and is split back out by `apply_fault_cell`
+            // when the cell runs.
+            cells: cross(&crate::FAULT_INTENSITIES, &crate::FAULT_POLICIES),
+        },
+        // Hidden from `FIGURES` (and so from `--figure all`): a tiny sweep
+        // whose middle cell runs the deliberately crashing `panic` policy,
+        // proving end to end that a panicking replication is quarantined
+        // while the neighbouring cells complete.
+        "crashtest" => FigureSpec {
+            name: "crashtest",
+            x_label: "(crashtest cells)",
+            cells: vec![
+                CellSpec {
+                    x: 0.0,
+                    policy: "MinMax".to_string(),
+                },
+                CellSpec {
+                    x: 1.0,
+                    policy: "panic".to_string(),
+                },
+                CellSpec {
+                    x: 2.0,
+                    policy: "MinMax".to_string(),
+                },
+            ],
+        },
         other => {
             return Err(format!(
                 "unknown figure {other:?}; known figures: {}",
@@ -186,12 +218,16 @@ fn cell_config(figure: &str, x: f64) -> SimConfig {
         // The device/eviction choice is per cell, not per figure: it is
         // applied from the cell's policy name by `apply_device_cell`.
         "devices" => SimConfig::baseline(x),
+        // x is the fault-storm intensity; the degradation mode is per cell,
+        // applied from the cell's policy name by `apply_fault_cell`.
+        "faults" => SimConfig::faulty(x),
+        "crashtest" => SimConfig::baseline(0.05),
         other => unreachable!("figure_spec admitted unknown figure {other}"),
     }
 }
 
 /// Driver parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DriverConfig {
     /// Independent replications per cell.
     pub seeds: u64,
@@ -221,6 +257,14 @@ pub struct DriverConfig {
     /// per subsystem, aggregated over all replications into
     /// [`FigureResult::profile`]. Machine-dependent — never byte-diffed.
     pub profile: bool,
+    /// Stream replication 0's structured trace of every cell to
+    /// `TRACE_obs_<figure>_cell<i>.txt` under this directory *while the run
+    /// executes* instead of buffering the full record stream in memory
+    /// (long `--trace` runs). Only effective with [`DriverConfig::trace`];
+    /// ignored when arrival or PMM-decision recording needs the in-memory
+    /// records back. Streamed cells are absent from
+    /// [`FigureResult::obs_traces`] — their bytes are already on disk.
+    pub stream_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DriverConfig {
@@ -234,6 +278,7 @@ impl Default for DriverConfig {
             record_pmm_decisions: false,
             trace: false,
             profile: false,
+            stream_dir: None,
         }
     }
 }
@@ -515,6 +560,27 @@ impl FigurePerf {
     }
 }
 
+/// One replication that panicked mid-run: quarantined with its provenance
+/// instead of aborting the sweep. The remaining replications of its cell
+/// (and every other cell) still merge normally; the binary writes the list
+/// as `BENCH_<figure>_quarantine.json` (see [`quarantine_json`]).
+#[derive(Clone, Debug)]
+pub struct QuarantinedUnit {
+    /// Cell index in the figure's canonical order.
+    pub cell: usize,
+    /// The cell's swept parameter.
+    pub x: f64,
+    /// The cell's policy name.
+    pub policy: String,
+    /// Replication index within the cell.
+    pub rep: u64,
+    /// The replication's derived RNG seed — rerun it with
+    /// `SimConfig { seed, .. }` to reproduce the panic.
+    pub seed: u64,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
 /// A figure's complete merged result.
 #[derive(Clone, Debug)]
 pub struct FigureResult {
@@ -548,6 +614,9 @@ pub struct FigureResult {
     /// cell (`None` unless [`DriverConfig::profile`] is set).
     /// Machine-dependent: serialized by [`profile_json`], never diffed.
     pub profile: Option<obs::ProfileReport>,
+    /// Replications that panicked, in cell-major / replication-minor order
+    /// (deterministic across thread counts). Empty on a healthy sweep.
+    pub quarantine: Vec<QuarantinedUnit>,
 }
 
 /// Derive the RNG seed for replication `rep` — stable for a given master
@@ -565,16 +634,20 @@ pub fn replication_seed(master_seed: u64, rep: u64) -> u64 {
 /// Propagates [`figure_spec`]'s error for unknown figure names.
 ///
 /// # Panics
-/// Panics if a worker thread panics (the simulation itself is panic-free on
-/// valid configs).
+/// A replication that panics does **not** abort the sweep: the panic is
+/// caught on its worker and the unit lands in
+/// [`FigureResult::quarantine`] while every other unit completes. Only
+/// driver-internal invariant violations still panic.
 pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, String> {
     let spec = figure_spec(figure)?;
     // Reject degenerate configs before any replication spawns: every cell's
-    // fully-resolved config (device and eviction applied) must validate.
+    // fully-resolved config (device, eviction, and degradation mode
+    // applied) must validate.
     for cell in &spec.cells {
         let mut sim = cell_config(spec.name, cell.x);
         sim.duration_secs = cfg.secs;
-        let (sim, _) = crate::apply_device_cell(sim, &cell.policy);
+        let (sim, rest) = crate::apply_device_cell(sim, &cell.policy);
+        let (sim, _) = crate::apply_fault_cell(sim, &rest);
         sim.validate().map_err(|e| {
             format!("invalid config for {figure} cell {:?}: {e}", cell.policy)
         })?;
@@ -582,13 +655,18 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
     let seeds: Vec<u64> = (0..cfg.seeds)
         .map(|rep| replication_seed(cfg.master_seed, rep))
         .collect();
+    // Streaming applies only when nothing needs the in-memory records back.
+    let streaming = cfg.stream_dir.is_some()
+        && cfg.trace
+        && !cfg.record_arrivals
+        && !cfg.record_pmm_decisions;
 
     // One unit per (cell, replication); results land in a pre-sized table so
     // merge order is independent of which worker ran which unit.
     let units: Vec<(usize, usize)> = (0..spec.cells.len())
         .flat_map(|c| (0..seeds.len()).map(move |s| (c, s)))
         .collect();
-    let results: Vec<OnceLock<(RunReport, f64)>> =
+    let results: Vec<OnceLock<Result<(RunReport, f64), String>>> =
         units.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
 
@@ -607,18 +685,35 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         // replication so the per-cell merge spans all seeds.
         if s == 0 && (cfg.trace || cfg.record_pmm_decisions) {
             sim.obs.trace = TraceMode::Full;
+            if streaming {
+                if let Some(dir) = &cfg.stream_dir {
+                    sim.obs.trace_path =
+                        Some(dir.join(format!("TRACE_obs_{}_cell{c}.txt", spec.name)));
+                }
+            }
         }
         sim.obs.metrics = cfg.trace;
         sim.obs.profile = cfg.profile;
         // Device-sweep cells fold a device × eviction choice into the
-        // policy name; all other cells pass through unchanged.
-        let (sim, policy_name) = crate::apply_device_cell(sim, &cell.policy);
-        let policy = make_policy_for(&sim, &policy_name);
+        // policy name, fault-sweep cells a degradation mode; all other
+        // cells pass through unchanged.
+        let (sim, rest) = crate::apply_device_cell(sim, &cell.policy);
+        let (sim, policy_name) = crate::apply_fault_cell(sim, &rest);
         let started = std::time::Instant::now();
-        let report = run_simulation(sim, policy);
+        // A panicking replication (crashing policy, engine invariant blown
+        // on a hostile config) is caught here on its own worker: the unit
+        // quarantines, the sweep survives.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let policy = make_policy_for(&sim, &policy_name);
+            run_simulation(sim, policy)
+        }));
         let wall = started.elapsed().as_secs_f64();
+        let entry = match outcome {
+            Ok(report) => Ok((report, wall)),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        };
         results[unit]
-            .set((report, wall))
+            .set(entry)
             .expect("each unit is claimed exactly once");
     };
 
@@ -647,30 +742,47 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
     let mut obs_traces: Vec<RecordedObsTrace> = Vec::new();
     let mut metrics: Vec<CellMetrics> = Vec::new();
     let mut profile: Option<obs::ProfileReport> = None;
+    let mut quarantine: Vec<QuarantinedUnit> = Vec::new();
     let cells = spec
         .cells
         .iter()
         .enumerate()
         .map(|(c, cell)| {
             let mut wall_secs = 0.0;
-            let reports: Vec<RunReport> = (0..seeds.len())
-                .map(|s| {
-                    let (report, wall) = results[c * seeds.len() + s]
-                        .get()
-                        .expect("all units completed");
-                    wall_secs += wall;
-                    report.clone()
-                })
-                .collect();
-            if cfg.record_arrivals {
-                for (class, gaps) in reports[0].arrival_gaps.iter().enumerate() {
-                    traces.push(RecordedTrace {
+            // Panicked replications drop out of the per-cell report set and
+            // land in the quarantine instead, in cell-major / replication-
+            // minor order — deterministic regardless of worker count.
+            let mut reports: Vec<RunReport> = Vec::with_capacity(seeds.len());
+            for s in 0..seeds.len() {
+                match results[c * seeds.len() + s]
+                    .get()
+                    .expect("all units completed")
+                {
+                    Ok((report, wall)) => {
+                        wall_secs += wall;
+                        reports.push(report.clone());
+                    }
+                    Err(message) => quarantine.push(QuarantinedUnit {
                         cell: c,
                         x: cell.x,
                         policy: cell.policy.clone(),
-                        class,
-                        gaps: gaps.clone(),
-                    });
+                        rep: s as u64,
+                        seed: seeds[s],
+                        message: message.clone(),
+                    }),
+                }
+            }
+            if cfg.record_arrivals {
+                if let Some(first) = reports.first() {
+                    for (class, gaps) in first.arrival_gaps.iter().enumerate() {
+                        traces.push(RecordedTrace {
+                            cell: c,
+                            x: cell.x,
+                            policy: cell.policy.clone(),
+                            class,
+                            gaps: gaps.clone(),
+                        });
+                    }
                 }
             }
             if cfg.record_pmm_decisions {
@@ -678,20 +790,25 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                 // arrival traces. The points come back out of the unified
                 // trace sink, not a side channel; static policies emit no
                 // `PolicyDecision` records and are skipped.
-                let points: Vec<pmm_core::pmm::TracePoint> = reports[0]
-                    .obs_trace
-                    .iter()
-                    .filter_map(|r| match r.event {
-                        obs::TraceEvent::PolicyDecision { mode, target_mpl } => {
-                            Some(pmm_core::pmm::TracePoint {
-                                at: r.at,
-                                mode: mode.into(),
-                                target_mpl,
+                let points: Vec<pmm_core::pmm::TracePoint> = reports
+                    .first()
+                    .map(|first| {
+                        first
+                            .obs_trace
+                            .iter()
+                            .filter_map(|r| match r.event {
+                                obs::TraceEvent::PolicyDecision { mode, target_mpl } => {
+                                    Some(pmm_core::pmm::TracePoint {
+                                        at: r.at,
+                                        mode: mode.into(),
+                                        target_mpl,
+                                    })
+                                }
+                                _ => None,
                             })
-                        }
-                        _ => None,
+                            .collect()
                     })
-                    .collect();
+                    .unwrap_or_default();
                 if !points.is_empty() {
                     pmm_traces.push(RecordedPmmTrace {
                         cell: c,
@@ -702,12 +819,18 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                 }
             }
             if cfg.trace {
-                obs_traces.push(RecordedObsTrace {
-                    cell: c,
-                    x: cell.x,
-                    policy: cell.policy.clone(),
-                    records: reports[0].obs_trace.clone(),
-                });
+                // Streamed cells wrote their trace bytes to disk as the run
+                // progressed; there is no in-memory copy to carry here.
+                if !streaming {
+                    if let Some(first) = reports.first() {
+                        obs_traces.push(RecordedObsTrace {
+                            cell: c,
+                            x: cell.x,
+                            policy: cell.policy.clone(),
+                            records: first.obs_trace.clone(),
+                        });
+                    }
+                }
                 let per_seed: Vec<&obs::MetricsReport> =
                     reports.iter().filter_map(|r| r.metrics.as_ref()).collect();
                 metrics.push(CellMetrics {
@@ -762,14 +885,81 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
         obs_traces,
         metrics,
         profile,
+        quarantine,
     })
+}
+
+/// Recover a human-readable message from a caught panic payload. `panic!`
+/// with a format string boxes a `String`; a bare literal boxes `&str`;
+/// anything else is opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Serialize a figure's quarantine to the `BENCH_<figure>_quarantine.json`
+/// format: one entry per panicked replication, with enough provenance
+/// (cell, policy, replication index, seed) to rerun the unit in isolation.
+pub fn quarantine_json(result: &FigureResult) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"{}\",\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \
+         \"kind\": \"quarantine\",\n  \"seeds\": {},\n  \"master_seed\": {},\n  \
+         \"units\": [\n",
+        result.figure, result.config.seeds, result.config.master_seed
+    ));
+    for (i, u) in result.quarantine.iter().enumerate() {
+        out.push_str(&format!("    {{\"cell\":{},\"x\":", u.cell));
+        push_f64(&mut out, u.x);
+        out.push_str(&format!(
+            ",\"policy\":\"{}\",\"rep\":{},\"seed\":{},\"message\":{}}}",
+            u.policy,
+            u.rep,
+            u.seed,
+            json_string(&u.message)
+        ));
+        out.push_str(if i + 1 < result.quarantine.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping for panic messages (quotes, backslashes,
+/// control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Serialize the perf trajectory of one driver invocation to the
 /// `BENCH_perf.json` format. Unlike `BENCH_<figure>.json` this output
 /// contains wall-clock readings, so it varies by machine and run — CI
 /// archives it as a trajectory artifact but never diffs it byte-for-byte.
-pub fn perf_json(cfg: DriverConfig, figures: &[(String, FigurePerf)]) -> String {
+pub fn perf_json(cfg: &DriverConfig, figures: &[(String, FigurePerf)]) -> String {
     let mut out = String::with_capacity(2048);
     out.push_str(&format!(
         "{{\n  \"paper\": \"conf_sigmod_PangCL94\",\n  \"kind\": \"perf\",\n  \
@@ -895,7 +1085,7 @@ pub fn metrics_json(result: &FigureResult) -> String {
 /// wall-clock readings — machine-dependent, archived as a trajectory
 /// artifact but never diffed for byte-identity.
 pub fn profile_json(
-    cfg: DriverConfig,
+    cfg: &DriverConfig,
     figures: &[(String, obs::ProfileReport)],
 ) -> String {
     let mut out = String::with_capacity(1024);
@@ -1227,7 +1417,7 @@ mod tests {
             record_pmm_decisions: true,
             ..DriverConfig::default()
         };
-        let r = run_figure("fig12", cfg).expect("fig12 runs");
+        let r = run_figure("fig12", cfg.clone()).expect("fig12 runs");
         assert_eq!(
             r.pmm_traces.len(),
             1,
@@ -1266,7 +1456,7 @@ mod tests {
             profile: true,
             ..DriverConfig::default()
         };
-        let r = run_figure("fig12", cfg).expect("fig12 runs");
+        let r = run_figure("fig12", cfg.clone()).expect("fig12 runs");
         assert_eq!(r.obs_traces.len(), 3, "one structured trace per cell");
         assert!(r.obs_traces.iter().all(|t| !t.records.is_empty()));
         assert_eq!(r.metrics.len(), 3, "one merged registry per cell");
@@ -1295,14 +1485,14 @@ mod tests {
         let off = DriverConfig {
             trace: false,
             profile: false,
-            ..cfg
+            ..cfg.clone()
         };
         let plain = run_figure("fig12", off).expect("rerun");
         assert!(plain.obs_traces.is_empty());
         assert!(plain.metrics.is_empty());
         assert!(plain.profile.is_none());
         assert_eq!(plain.to_json(), r.to_json());
-        let pjson = profile_json(cfg, &[("fig12".to_string(), prof.clone())]);
+        let pjson = profile_json(&cfg, &[("fig12".to_string(), prof.clone())]);
         assert!(pjson.contains("\"kind\": \"profile\""));
         assert!(pjson.contains("\"name\":\"dispatch\""));
         assert_eq!(pjson.matches('{').count(), pjson.matches('}').count());
@@ -1317,7 +1507,7 @@ mod tests {
             master_seed: 7,
             ..DriverConfig::default()
         };
-        let r = run_figure("fig11", cfg).expect("fig11 runs");
+        let r = run_figure("fig11", cfg.clone()).expect("fig11 runs");
         let json = r.to_json();
         assert_eq!(json, run_figure("fig11", cfg).expect("rerun").to_json());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));

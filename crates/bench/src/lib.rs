@@ -40,7 +40,36 @@ pub fn make_policy(name: &str) -> Box<dyn MemoryPolicy> {
         "Proportional" => Box::new(ProportionalPolicy::unlimited()),
         "PMM" => Box::new(Pmm::with_defaults()),
         "PMM-regime" => Box::new(Pmm::regime_aware()),
+        "panic" => Box::new(PanicPolicy),
         other => panic!("unknown policy {other}"),
+    }
+}
+
+/// A deliberately crashing policy: its first allocation panics. Exists only
+/// for the hidden `crashtest` figure, which proves the driver quarantines a
+/// panicking replication instead of losing the whole sweep.
+pub struct PanicPolicy;
+
+impl MemoryPolicy for PanicPolicy {
+    fn name(&self) -> String {
+        "panic".into()
+    }
+
+    fn allocate_into(
+        &mut self,
+        _snapshot: &pmm_core::pmm::SystemSnapshot,
+        _scratch: &mut pmm_core::pmm::AllocScratch,
+        _out: &mut pmm_core::pmm::Grants,
+    ) {
+        panic!("deliberate crashtest panic");
+    }
+
+    fn mode(&self) -> StrategyMode {
+        StrategyMode::MinMax
+    }
+
+    fn trace(&self) -> &[pmm_core::pmm::TracePoint] {
+        &[]
     }
 }
 
@@ -59,6 +88,9 @@ pub fn make_policy(name: &str) -> Box<dyn MemoryPolicy> {
 /// with no tenants.
 pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
     if let Some((_, _, policy)) = split_device_cell(name) {
+        return make_policy_for(cfg, policy);
+    }
+    if let Some((_, policy)) = split_fault_cell(name) {
         return make_policy_for(cfg, policy);
     }
     let partitions = || -> Vec<PartitionSpec> {
@@ -172,6 +204,41 @@ pub fn apply_device_cell(cfg: SimConfig, name: &str) -> (SimConfig, String) {
             cfg.with_device(device).with_eviction(eviction),
             policy.to_string(),
         ),
+        None => (cfg, name.to_string()),
+    }
+}
+
+/// Fault intensities of the faults sweep: the empty-plan control cell plus
+/// a half- and a full-strength storm (see `FaultPlan::scaled`).
+pub const FAULT_INTENSITIES: [f64; 3] = [0.0, 0.5, 1.0];
+/// Degradation-mode × allocation-policy cells of the faults sweep.
+pub const FAULT_POLICIES: [&str; 4] =
+    ["abort/MinMax", "requeue/MinMax", "abort/PMM", "requeue/PMM"];
+
+/// Split a faults-sweep cell name `"<mode>/<policy>"` (e.g.
+/// `"requeue/PMM"`) into its degradation mode and allocation-policy name.
+/// Returns `None` for plain policy names and for device cells (their combo
+/// part is never a mode name), so every other figure's cells pass through
+/// untouched.
+pub fn split_fault_cell(name: &str) -> Option<(DegradationMode, &str)> {
+    let (mode, policy) = name.split_once('/')?;
+    let mode = match mode {
+        "abort" => DegradationMode::Abort,
+        "requeue" => DegradationMode::Requeue,
+        _ => return None,
+    };
+    Some((mode, policy))
+}
+
+/// Apply a faults-sweep cell name to a config: installs the cell's
+/// degradation mode as the plan's default and returns the allocation-policy
+/// name left over. Non-fault names pass through as the identity.
+pub fn apply_fault_cell(mut cfg: SimConfig, name: &str) -> (SimConfig, String) {
+    match split_fault_cell(name) {
+        Some((mode, policy)) => {
+            cfg.faults.default_mode = mode;
+            (cfg, policy.to_string())
+        }
         None => (cfg, name.to_string()),
     }
 }
@@ -415,6 +482,48 @@ mod tests {
         let cfg = SimConfig::baseline(0.05);
         assert_eq!(make_policy_for(&cfg, "ssd+lruk/PMM").name(), "PMM");
         assert_eq!(make_policy_for(&cfg, "cyl+lru/MinMax").name(), "MinMax");
+    }
+
+    #[test]
+    fn fault_cell_names_round_trip() {
+        let (mode, p) = split_fault_cell("abort/MinMax").expect("fault cell");
+        assert_eq!(mode, DegradationMode::Abort);
+        assert_eq!(p, "MinMax");
+        let (mode, p) = split_fault_cell("requeue/PMM").expect("fault cell");
+        assert_eq!(mode, DegradationMode::Requeue);
+        assert_eq!(p, "PMM");
+        // Plain names, unknown modes, and device cells pass through.
+        assert!(split_fault_cell("PMM").is_none());
+        assert!(split_fault_cell("retry/PMM").is_none());
+        assert!(split_fault_cell("ssd+lruk/PMM").is_none());
+        assert!(split_device_cell("abort/PMM").is_none());
+    }
+
+    #[test]
+    fn apply_fault_cell_installs_the_degradation_mode() {
+        let base = SimConfig::faulty(1.0);
+        let (cfg, policy) = apply_fault_cell(base.clone(), "requeue/PMM");
+        assert_eq!(cfg.faults.default_mode, DegradationMode::Requeue);
+        assert_eq!(policy, "PMM");
+        // Identity on non-fault names.
+        let (cfg, policy) = apply_fault_cell(base, "MinMax");
+        assert_eq!(cfg.faults.default_mode, DegradationMode::Abort);
+        assert_eq!(policy, "MinMax");
+    }
+
+    #[test]
+    fn make_policy_for_resolves_fault_cell_names() {
+        let cfg = SimConfig::faulty(0.5);
+        assert_eq!(make_policy_for(&cfg, "abort/PMM").name(), "PMM");
+        assert_eq!(make_policy_for(&cfg, "requeue/MinMax").name(), "MinMax");
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate crashtest panic")]
+    fn panic_policy_panics_on_first_allocation() {
+        let mut cfg = SimConfig::baseline(0.05);
+        cfg.duration_secs = 100.0;
+        run_simulation(cfg, make_policy("panic"));
     }
 
     #[test]

@@ -15,9 +15,15 @@ fn parallel_json_matches_serial() {
         master_seed: 1994,
         ..DriverConfig::default()
     };
-    let serial = run_figure("fig3", base).expect("serial run");
-    let parallel =
-        run_figure("fig3", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    let serial = run_figure("fig3", base.clone()).expect("serial run");
+    let parallel = run_figure(
+        "fig3",
+        DriverConfig {
+            threads: 4,
+            ..base.clone()
+        },
+    )
+    .expect("parallel run");
     assert_eq!(
         serial.to_json(),
         parallel.to_json(),
@@ -36,7 +42,7 @@ fn oversubscribed_threads_match_serial() {
         master_seed: 42,
         ..DriverConfig::default()
     };
-    let serial = run_figure("fig11", base).expect("serial run");
+    let serial = run_figure("fig11", base.clone()).expect("serial run");
     let flooded = run_figure(
         "fig11",
         DriverConfig {
@@ -63,9 +69,15 @@ fn burst_and_tenants_json_match_serial() {
             master_seed: 1994,
             ..DriverConfig::default()
         };
-        let serial = run_figure(figure, base).expect("serial run");
-        let parallel = run_figure(figure, DriverConfig { threads: 4, ..base })
-            .expect("parallel run");
+        let serial = run_figure(figure, base.clone()).expect("serial run");
+        let parallel = run_figure(
+            figure,
+            DriverConfig {
+                threads: 4,
+                ..base.clone()
+            },
+        )
+        .expect("parallel run");
         assert_eq!(
             serial.to_json(),
             parallel.to_json(),
@@ -86,7 +98,7 @@ fn tenant_and_regime_cells_are_emitted() {
         master_seed: 1994,
         ..DriverConfig::default()
     };
-    let tenants = run_figure("tenants", cfg).expect("tenants runs");
+    let tenants = run_figure("tenants", cfg.clone()).expect("tenants runs");
     assert!(
         tenants.cells.iter().any(|c| c.policy == "PMM-tenant"),
         "adaptive per-tenant PMM column present"
@@ -141,9 +153,15 @@ fn devices_json_matches_serial_and_covers_grid() {
         master_seed: 1994,
         ..DriverConfig::default()
     };
-    let serial = run_figure("devices", base).expect("serial run");
-    let parallel =
-        run_figure("devices", DriverConfig { threads: 4, ..base }).expect("parallel");
+    let serial = run_figure("devices", base.clone()).expect("serial run");
+    let parallel = run_figure(
+        "devices",
+        DriverConfig {
+            threads: 4,
+            ..base.clone()
+        },
+    )
+    .expect("parallel");
     assert_eq!(
         serial.to_json(),
         parallel.to_json(),
@@ -189,7 +207,7 @@ fn recorded_arrival_traces_replay_and_leave_json_untouched() {
         master_seed: 7,
         ..DriverConfig::default()
     };
-    let plain = run_figure("fig11", base).expect("plain run");
+    let plain = run_figure("fig11", base.clone()).expect("plain run");
     assert!(plain.traces.is_empty(), "recording is off by default");
     let recorded = run_figure(
         "fig11",
@@ -244,9 +262,15 @@ fn trace_artifacts_are_thread_count_invariant() {
         trace: true,
         ..DriverConfig::default()
     };
-    let serial = run_figure("fig12", base).expect("serial run");
-    let parallel =
-        run_figure("fig12", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    let serial = run_figure("fig12", base.clone()).expect("serial run");
+    let parallel = run_figure(
+        "fig12",
+        DriverConfig {
+            threads: 4,
+            ..base.clone()
+        },
+    )
+    .expect("parallel run");
     assert_eq!(serial.to_json(), parallel.to_json());
     assert_eq!(serial.obs_traces.len(), parallel.obs_traces.len());
     for (s, p) in serial.obs_traces.iter().zip(&parallel.obs_traces) {

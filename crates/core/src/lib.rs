@@ -35,8 +35,8 @@ pub mod prelude {
         PmmParams, ProportionalPolicy, StrategyMode, TenantPmm,
     };
     pub use rtdbs::{
-        run_simulation, ConfigError, PhaseSchedule, QueryType, ResourceConfig, RunReport,
-        SimConfig, WorkloadClass,
+        run_simulation, ConfigError, DegradationMode, FaultPlan, FaultSpec,
+        PhaseSchedule, QueryType, ResourceConfig, RunReport, SimConfig, WorkloadClass,
     };
     pub use simkit::{Duration, SimTime};
     pub use storage::{

@@ -55,7 +55,8 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     let mut disks_seen: Vec<u32> = records
         .iter()
         .filter_map(|r| match r.event {
-            TraceEvent::Io { disk, .. } => Some(disk),
+            TraceEvent::Io { disk, .. } | TraceEvent::IoRetry { disk, .. } => Some(disk),
+            TraceEvent::FaultInjected { disk, .. } => disk,
             _ => None,
         })
         .collect();
@@ -65,6 +66,9 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         meta_thread(&mut out, DISK_TID_BASE + d, &format!("disk{d}"));
     }
 
+    // Open outage windows per disk, so the clearing transition can be
+    // rendered as a complete (`X`) slice spanning the whole window.
+    let mut outage_open: Vec<(u32, u64)> = Vec::new();
     for r in records {
         let ts = r.at.0;
         match r.event {
@@ -161,6 +165,94 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     ),
                 );
             }
+            TraceEvent::FaultInjected {
+                fault,
+                disk,
+                active,
+                factor,
+            } => {
+                use crate::trace::FaultClass;
+                match (fault, disk) {
+                    (FaultClass::DiskOutage, Some(d)) => {
+                        // Outage windows render as per-disk duration spans:
+                        // an instant at the opening transition, the `X`
+                        // slice once the window's extent is known.
+                        if active {
+                            outage_open.push((d, ts));
+                            push_event(
+                                &mut out,
+                                &format!(
+                                    r#"{{"ph":"i","s":"t","name":"outage begin","pid":0,"tid":{},"ts":{ts}}}"#,
+                                    DISK_TID_BASE + d
+                                ),
+                            );
+                        } else if let Some(i) =
+                            outage_open.iter().position(|&(od, _)| od == d)
+                        {
+                            let (_, start) = outage_open.swap_remove(i);
+                            push_event(
+                                &mut out,
+                                &format!(
+                                    r#"{{"ph":"X","name":"outage","pid":0,"tid":{},"ts":{start},"dur":{}}}"#,
+                                    DISK_TID_BASE + d,
+                                    ts - start
+                                ),
+                            );
+                        }
+                    }
+                    (_, d) => {
+                        let tid = d.map_or(ENGINE_TID, |d| DISK_TID_BASE + d);
+                        push_event(
+                            &mut out,
+                            &format!(
+                                r#"{{"ph":"i","s":"g","name":"{fault} {}","pid":0,"tid":{tid},"ts":{ts},"args":{{"factor":{factor:?}}}}}"#,
+                                if active { "begin" } else { "end" }
+                            ),
+                        );
+                    }
+                }
+            }
+            TraceEvent::IoRetry {
+                query,
+                disk,
+                attempt,
+                backoff,
+            } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"t","name":"retry q{query}","pid":0,"tid":{},"ts":{ts},"args":{{"attempt":{attempt},"backoff_us":{}}}}}"#,
+                        DISK_TID_BASE + disk,
+                        backoff.0
+                    ),
+                );
+            }
+            TraceEvent::Degraded {
+                query,
+                class,
+                action,
+            } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#"{{"ph":"i","s":"t","name":"degraded q{query}","pid":0,"tid":{QUERY_TID},"ts":{ts},"args":{{"class":{class},"action":"{action}"}}}}"#
+                    ),
+                );
+            }
+        }
+    }
+    // Outages still open at the end of the trace span to its last instant.
+    if let Some(last) = records.last() {
+        outage_open.sort_unstable();
+        for (d, start) in outage_open {
+            push_event(
+                &mut out,
+                &format!(
+                    r#"{{"ph":"X","name":"outage","pid":0,"tid":{},"ts":{start},"dur":{}}}"#,
+                    DISK_TID_BASE + d,
+                    last.at.0.saturating_sub(start)
+                ),
+            );
         }
     }
     out.push_str("\n]}\n");
@@ -247,6 +339,95 @@ mod tests {
         assert!(json.contains(r#""name":"policy Max""#));
         assert!(json.contains(r#""target_mpl":null"#));
         assert!(json.contains(r#""ts":1000000"#));
+    }
+
+    #[test]
+    fn outage_windows_render_as_disk_duration_spans() {
+        use crate::trace::{DegradedAction, FaultClass};
+        let records = vec![
+            TraceRecord {
+                at: SimTime(120_000_000),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::DiskOutage,
+                    disk: Some(2),
+                    active: true,
+                    factor: 1.0,
+                },
+            },
+            TraceRecord {
+                at: SimTime(125_000_000),
+                event: TraceEvent::IoRetry {
+                    query: 9,
+                    disk: 2,
+                    attempt: 1,
+                    backoff: Duration(250_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(130_000_000),
+                event: TraceEvent::Degraded {
+                    query: 9,
+                    class: 0,
+                    action: DegradedAction::Aborted,
+                },
+            },
+            TraceRecord {
+                at: SimTime(210_000_000),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::DiskOutage,
+                    disk: Some(2),
+                    active: false,
+                    factor: 1.0,
+                },
+            },
+            TraceRecord {
+                at: SimTime(220_000_000),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::MemoryShock,
+                    disk: None,
+                    active: true,
+                    factor: 0.5,
+                },
+            },
+        ];
+        let json = chrome_trace_json(&records);
+        // The outage is a complete slice on disk 2's lane spanning the
+        // whole window.
+        assert!(json.contains(
+            r#""ph":"X","name":"outage","pid":0,"tid":12,"ts":120000000,"dur":90000000"#
+        ));
+        assert!(
+            json.contains(r#""name":"disk2""#),
+            "fault-only disks get lanes"
+        );
+        assert!(json.contains(r#""name":"retry q9""#));
+        assert!(json.contains(r#""name":"degraded q9""#));
+        assert!(json.contains(r#""name":"shock begin""#));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+
+    #[test]
+    fn unclosed_outage_spans_to_the_last_record() {
+        use crate::trace::FaultClass;
+        let records = vec![
+            TraceRecord {
+                at: SimTime(100),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::DiskOutage,
+                    disk: Some(0),
+                    active: true,
+                    factor: 1.0,
+                },
+            },
+            TraceRecord {
+                at: SimTime(500),
+                event: TraceEvent::Arrival { query: 1, class: 0 },
+            },
+        ];
+        let json = chrome_trace_json(&records);
+        assert!(json
+            .contains(r#""ph":"X","name":"outage","pid":0,"tid":10,"ts":100,"dur":400"#));
     }
 
     #[test]

@@ -29,19 +29,27 @@ pub use metrics::{
     CounterId, GaugeId, HistId, HistReport, MetricsRegistry, MetricsReport, MetricsWindow,
 };
 pub use profile::{ProfileReport, Profiler, Section, SectionStats};
-pub use trace::{render_text, PolicyMode, TraceEvent, TraceKind, TraceRecord, Tracer};
+pub use trace::{
+    render_text, DegradedAction, FaultClass, PolicyMode, TraceEvent, TraceKind,
+    TraceRecord, Tracer,
+};
 
 /// Per-run observability switches, carried on the simulator config.
 ///
 /// The default is everything off: no trace records, no metrics registry,
 /// no profiling, and a golden report byte-identical to the pre-obs engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObsConfig {
     /// Trace sink mode for this run.
     pub trace: TraceMode,
     /// Capacity (records) of the ring-buffer flight recorder. Only used
     /// when `trace == TraceMode::Ring`; must be non-zero then.
     pub ring_capacity: usize,
+    /// Stream trace records to this file incrementally (rendered text,
+    /// one line per record, appended) instead of buffering the full run
+    /// in memory. Only honored when `trace != TraceMode::Off`; the run's
+    /// in-memory trace then stays empty.
+    pub trace_path: Option<std::path::PathBuf>,
     /// Enable the metrics registry (counters/gauges/histograms with
     /// windowed snapshots on the fig12 boundaries).
     pub metrics: bool,
@@ -54,6 +62,7 @@ impl Default for ObsConfig {
         ObsConfig {
             trace: TraceMode::Off,
             ring_capacity: 4096,
+            trace_path: None,
             metrics: false,
             profile: false,
         }

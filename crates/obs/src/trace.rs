@@ -31,11 +31,17 @@ pub enum TraceKind {
     PolicyDecision = 1 << 7,
     /// A feedback batch closed.
     Batch = 1 << 8,
+    /// A fault-plan transition was applied (fault began or cleared).
+    Fault = 1 << 9,
+    /// A disk access failed during an outage and entered a retry backoff.
+    IoRetry = 1 << 10,
+    /// The degradation policy acted on a query (abort/requeue/suspend).
+    Degraded = 1 << 11,
 }
 
 impl TraceKind {
     /// All kinds enabled.
-    pub const ALL: u16 = (1 << 9) - 1;
+    pub const ALL: u16 = (1 << 12) - 1;
 
     /// This kind's bit in the enable mask.
     #[inline]
@@ -66,6 +72,48 @@ impl std::fmt::Display for PolicyMode {
             PolicyMode::MinMax => write!(f, "MinMax"),
             PolicyMode::Proportional => write!(f, "Proportional"),
         }
+    }
+}
+
+/// Which fault shape a [`TraceEvent::FaultInjected`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A disk's media service times are scaled by a factor.
+    DiskDegrade,
+    /// A disk is unreachable; accesses fail into the retry ladder.
+    DiskOutage,
+    /// Total buffer memory shrank (or restored).
+    MemoryShock,
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultClass::DiskDegrade => "degrade",
+            FaultClass::DiskOutage => "outage",
+            FaultClass::MemoryShock => "shock",
+        })
+    }
+}
+
+/// What the degradation policy did to a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedAction {
+    /// Aborted and counted missed.
+    Aborted,
+    /// Its hard-failed I/O was put back on the disk queue.
+    Requeued,
+    /// Left parked at zero grant until memory returns.
+    Suspended,
+}
+
+impl std::fmt::Display for DegradedAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradedAction::Aborted => "aborted",
+            DegradedAction::Requeued => "requeued",
+            DegradedAction::Suspended => "suspended",
+        })
     }
 }
 
@@ -147,6 +195,38 @@ pub enum TraceEvent {
         /// Deadline misses in the batch.
         missed: u64,
     },
+    /// A fault-plan transition was applied.
+    FaultInjected {
+        /// The fault shape.
+        fault: FaultClass,
+        /// Target disk for device faults; `None` for memory shocks.
+        disk: Option<u32>,
+        /// True when the fault begins, false when it clears.
+        active: bool,
+        /// Degrade factor, or surviving memory fraction for shocks;
+        /// 1.0 for outages and on every clearing transition.
+        factor: f64,
+    },
+    /// A disk access failed during an outage: retry after a backoff.
+    IoRetry {
+        /// Owning query id.
+        query: u64,
+        /// Disk index.
+        disk: u32,
+        /// 1-based retry attempt this backoff precedes.
+        attempt: u32,
+        /// The backoff span of sim time.
+        backoff: Duration,
+    },
+    /// The degradation policy acted on a query.
+    Degraded {
+        /// Engine-assigned query id.
+        query: u64,
+        /// Workload class index.
+        class: u32,
+        /// What was done to it.
+        action: DegradedAction,
+    },
 }
 
 impl TraceEvent {
@@ -163,6 +243,9 @@ impl TraceEvent {
             TraceEvent::Completed { .. } => TraceKind::Departure,
             TraceEvent::PolicyDecision { .. } => TraceKind::PolicyDecision,
             TraceEvent::BatchClosed { .. } => TraceKind::Batch,
+            TraceEvent::FaultInjected { .. } => TraceKind::Fault,
+            TraceEvent::IoRetry { .. } => TraceKind::IoRetry,
+            TraceEvent::Degraded { .. } => TraceKind::Degraded,
         }
     }
 }
@@ -176,8 +259,19 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
+/// An incremental file sink: records are rendered and written as they are
+/// emitted, so a long traced run never buffers its full trace in memory.
+#[derive(Debug)]
+struct FileSink {
+    w: std::io::BufWriter<std::fs::File>,
+    /// Scratch line buffer, reused per record.
+    line: String,
+    /// Records written so far.
+    written: usize,
+}
+
 /// Where accepted records go.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 enum Sink {
     /// Drop everything (the mask is zero too, so `emit` never reaches here).
     Null,
@@ -189,10 +283,12 @@ enum Sink {
     },
     /// Unbounded in-memory log.
     Full(Vec<TraceRecord>),
+    /// Streaming file sink: write each record out incrementally.
+    Stream(FileSink),
 }
 
 /// The recording front end: an enable mask plus a sink.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Tracer {
     mask: u16,
     sink: Sink,
@@ -246,6 +342,42 @@ impl Tracer {
         Tracer { mask, sink }
     }
 
+    /// Build a streaming tracer: records are rendered with the
+    /// [`render_text`] line format and appended to the file at `path` as
+    /// they are emitted, never buffered for the whole run. A zero mask
+    /// still forces the null sink (and opens nothing).
+    pub fn streaming<P: AsRef<std::path::Path>>(
+        path: P,
+        mask: u16,
+    ) -> std::io::Result<Self> {
+        if mask == 0 {
+            return Ok(Tracer::off());
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Tracer {
+            mask,
+            sink: Sink::Stream(FileSink {
+                w: std::io::BufWriter::new(file),
+                line: String::with_capacity(96),
+                written: 0,
+            }),
+        })
+    }
+
+    /// Flush any buffered stream output. A no-op for in-memory sinks.
+    ///
+    /// # Panics
+    /// Panics when the underlying file write fails — trace loss is a
+    /// corrupted artifact, not a degraded run.
+    pub fn finish(&mut self) {
+        if let Sink::Stream(s) = &mut self.sink {
+            std::io::Write::flush(&mut s.w).expect("cannot flush trace stream");
+        }
+    }
+
     /// True when `kind` events are being recorded.
     #[inline]
     pub fn wants(&self, kind: TraceKind) -> bool {
@@ -280,15 +412,31 @@ impl Tracer {
                 }
             }
             Sink::Full(v) => v.push(rec),
+            Sink::Stream(s) => {
+                s.line.clear();
+                render_record(&mut s.line, &rec);
+                std::io::Write::write_all(&mut s.w, s.line.as_bytes())
+                    .expect("cannot write trace stream");
+                s.written += 1;
+            }
         }
     }
 
-    /// Number of records currently held.
+    /// Number of records currently held (records already streamed to a
+    /// file count as written, not held).
     pub fn len(&self) -> usize {
         match &self.sink {
-            Sink::Null => 0,
+            Sink::Null | Sink::Stream(_) => 0,
             Sink::Ring { buf, .. } => buf.len(),
             Sink::Full(v) => v.len(),
+        }
+    }
+
+    /// Records written to a streaming sink so far (0 for in-memory sinks).
+    pub fn streamed(&self) -> usize {
+        match &self.sink {
+            Sink::Stream(s) => s.written,
+            _ => 0,
         }
     }
 
@@ -298,7 +446,9 @@ impl Tracer {
     }
 
     /// Drain the held records in chronological order (ring buffers are
-    /// unrotated first). The tracer keeps recording afterwards.
+    /// unrotated first). The tracer keeps recording afterwards. A
+    /// streaming sink holds nothing — its records are already on disk —
+    /// so it flushes and returns empty.
     pub fn take_records(&mut self) -> Vec<TraceRecord> {
         match &mut self.sink {
             Sink::Null => Vec::new(),
@@ -311,6 +461,10 @@ impl Tracer {
                 out
             }
             Sink::Full(v) => std::mem::take(v),
+            Sink::Stream(_) => {
+                self.finish();
+                Vec::new()
+            }
         }
     }
 }
@@ -323,62 +477,99 @@ impl Tracer {
 pub fn render_text(records: &[TraceRecord]) -> String {
     let mut out = String::with_capacity(records.len() * 48);
     for r in records {
-        let t = r.at.as_secs_f64();
-        match r.event {
-            TraceEvent::Arrival { query, class } => {
-                out.push_str(&format!("{t:?} arrival query={query} class={class}\n"));
-            }
-            TraceEvent::ArrivalGap { class, gap_secs } => {
-                out.push_str(&format!("{t:?} gap class={class} secs={gap_secs:?}\n"));
-            }
-            TraceEvent::Admitted { query, wait } => {
-                out.push_str(&format!(
-                    "{t:?} admitted query={query} wait={:?}\n",
-                    wait.as_secs_f64()
-                ));
-            }
-            TraceEvent::GrantChanged { query, pages } => {
-                out.push_str(&format!("{t:?} grant query={query} pages={pages}\n"));
-            }
-            TraceEvent::CpuBurst {
-                query,
-                instructions,
-            } => {
-                out.push_str(&format!("{t:?} cpu query={query} instr={instructions}\n"));
-            }
-            TraceEvent::Io {
-                query,
-                disk,
-                pages,
-                write,
-                cache_hit,
-                service,
-            } => {
-                let kind = if write { "write" } else { "read" };
-                out.push_str(&format!(
+        render_record(&mut out, r);
+    }
+    out
+}
+
+/// Render one record as its `render_text` line (the streaming sink writes
+/// through this, so streamed and buffered traces are byte-identical).
+fn render_record(out: &mut String, r: &TraceRecord) {
+    let t = r.at.as_secs_f64();
+    match r.event {
+        TraceEvent::Arrival { query, class } => {
+            out.push_str(&format!("{t:?} arrival query={query} class={class}\n"));
+        }
+        TraceEvent::ArrivalGap { class, gap_secs } => {
+            out.push_str(&format!("{t:?} gap class={class} secs={gap_secs:?}\n"));
+        }
+        TraceEvent::Admitted { query, wait } => {
+            out.push_str(&format!(
+                "{t:?} admitted query={query} wait={:?}\n",
+                wait.as_secs_f64()
+            ));
+        }
+        TraceEvent::GrantChanged { query, pages } => {
+            out.push_str(&format!("{t:?} grant query={query} pages={pages}\n"));
+        }
+        TraceEvent::CpuBurst {
+            query,
+            instructions,
+        } => {
+            out.push_str(&format!("{t:?} cpu query={query} instr={instructions}\n"));
+        }
+        TraceEvent::Io {
+            query,
+            disk,
+            pages,
+            write,
+            cache_hit,
+            service,
+        } => {
+            let kind = if write { "write" } else { "read" };
+            out.push_str(&format!(
                     "{t:?} io query={query} disk={disk} pages={pages} kind={kind} hit={cache_hit} service={:?}\n",
                     service.as_secs_f64()
                 ));
-            }
-            TraceEvent::Completed {
-                query,
-                class,
-                missed,
-            } => {
-                out.push_str(&format!(
-                    "{t:?} done query={query} class={class} missed={missed}\n"
+        }
+        TraceEvent::Completed {
+            query,
+            class,
+            missed,
+        } => {
+            out.push_str(&format!(
+                "{t:?} done query={query} class={class} missed={missed}\n"
+            ));
+        }
+        TraceEvent::PolicyDecision { mode, target_mpl } => {
+            let target = target_mpl.map_or("-".to_string(), |m| m.to_string());
+            out.push_str(&format!("{t:?} policy mode={mode} target={target}\n"));
+        }
+        TraceEvent::BatchClosed { served, missed } => {
+            out.push_str(&format!("{t:?} batch served={served} missed={missed}\n"));
+        }
+        TraceEvent::FaultInjected {
+            fault,
+            disk,
+            active,
+            factor,
+        } => {
+            let disk = disk.map_or("-".to_string(), |d| d.to_string());
+            out.push_str(&format!(
+                    "{t:?} fault kind={fault} disk={disk} active={active} factor={factor:?}\n"
                 ));
-            }
-            TraceEvent::PolicyDecision { mode, target_mpl } => {
-                let target = target_mpl.map_or("-".to_string(), |m| m.to_string());
-                out.push_str(&format!("{t:?} policy mode={mode} target={target}\n"));
-            }
-            TraceEvent::BatchClosed { served, missed } => {
-                out.push_str(&format!("{t:?} batch served={served} missed={missed}\n"));
-            }
+        }
+        TraceEvent::IoRetry {
+            query,
+            disk,
+            attempt,
+            backoff,
+        } => {
+            out.push_str(&format!(
+                    "{t:?} io-retry query={query} disk={disk} attempt={attempt} backoff={:?}\n",
+                    backoff.as_secs_f64()
+                ));
+        }
+        TraceEvent::Degraded {
+            query,
+            class,
+            action,
+        } => {
+            out.push_str(&format!(
+                "{t:?} degraded query={query} class={class} action={action}\n"
+            ));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -541,5 +732,97 @@ mod tests {
         assert!(a.contains("gap class=0 secs=12.25"));
         assert!(a.contains("policy mode=MinMax target=12"));
         assert!(a.contains("io query=1 disk=0 pages=8 kind=read hit=false service=0.021"));
+    }
+
+    fn fault_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at: SimTime(60_000_000),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::DiskDegrade,
+                    disk: Some(0),
+                    active: true,
+                    factor: 3.0,
+                },
+            },
+            TraceRecord {
+                at: SimTime(61_000_000),
+                event: TraceEvent::FaultInjected {
+                    fault: FaultClass::MemoryShock,
+                    disk: None,
+                    active: true,
+                    factor: 0.5,
+                },
+            },
+            TraceRecord {
+                at: SimTime(62_000_000),
+                event: TraceEvent::IoRetry {
+                    query: 5,
+                    disk: 2,
+                    attempt: 1,
+                    backoff: Duration(250_000),
+                },
+            },
+            TraceRecord {
+                at: SimTime(63_000_000),
+                event: TraceEvent::Degraded {
+                    query: 5,
+                    class: 0,
+                    action: DegradedAction::Aborted,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn render_text_covers_fault_kinds() {
+        let a = render_text(&fault_records());
+        assert_eq!(a.lines().count(), 4);
+        assert!(a.contains("60.0 fault kind=degrade disk=0 active=true factor=3.0"));
+        assert!(a.contains("61.0 fault kind=shock disk=- active=true factor=0.5"));
+        assert!(a.contains("62.0 io-retry query=5 disk=2 attempt=1 backoff=0.25"));
+        assert!(a.contains("63.0 degraded query=5 class=0 action=aborted"));
+    }
+
+    #[test]
+    fn fault_kinds_have_distinct_mask_bits() {
+        let mut t = Tracer::with_mask(TraceMode::Full, 0, TraceKind::Degraded.bit());
+        assert!(t.wants(TraceKind::Degraded));
+        assert!(!t.wants(TraceKind::Fault));
+        assert!(!t.wants(TraceKind::IoRetry));
+        for r in fault_records() {
+            t.emit(r.at, r.event);
+        }
+        let got = t.take_records();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].event, TraceEvent::Degraded { .. }));
+    }
+
+    #[test]
+    fn streaming_sink_matches_render_text_byte_for_byte() {
+        let dir = std::env::temp_dir().join("obs-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<TraceRecord> =
+            (0..10).map(|i| rec(i, i)).chain(fault_records()).collect();
+        {
+            let mut t = Tracer::streaming(&path, TraceKind::ALL).unwrap();
+            for r in &records {
+                t.emit(r.at, r.event);
+            }
+            assert_eq!(t.len(), 0, "nothing buffered");
+            assert_eq!(t.streamed(), records.len());
+            assert!(t.take_records().is_empty(), "records live on disk");
+        }
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, render_text(&records));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_with_zero_mask_opens_nothing() {
+        let t = Tracer::streaming("/nonexistent-dir/never-created.txt", 0).unwrap();
+        assert!(t.is_off());
     }
 }

@@ -7,6 +7,7 @@
 //! live in `workload` — scenario generation is its own subsystem — and are
 //! re-exported here for convenience.
 
+use crate::faults::{FaultPlan, FaultSpec};
 use exec::ExecConfig;
 pub use obs::{ObsConfig, TraceMode};
 pub use storage::{DeviceSpec, EvictionSpec, SsdSpec};
@@ -82,6 +83,16 @@ pub enum ConfigError {
     NonPositiveWindow,
     /// Flight-recorder tracing requested with a zero-capacity ring.
     ZeroRingCapacity,
+    /// A fault targets a disk index ≥ `resources.num_disks`.
+    FaultDiskOutOfRange,
+    /// A fault window is empty, negative, or non-finite.
+    FaultWindowInvalid,
+    /// A degradation factor or shock fraction outside its meaningful
+    /// range (factor must be positive and finite; fraction in (0, 1]).
+    FaultFactorInvalid,
+    /// A zero base backoff or a cap below the base: the retry ladder
+    /// would spin without advancing virtual time (or be non-monotone).
+    FaultBackoffInvalid,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -100,6 +111,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveWindow => "window_secs must be positive and finite",
             ConfigError::ZeroRingCapacity => {
                 "obs.ring_capacity must be positive for ring tracing"
+            }
+            ConfigError::FaultDiskOutOfRange => {
+                "fault plan targets a disk index beyond resources.num_disks"
+            }
+            ConfigError::FaultWindowInvalid => {
+                "fault windows need finite 0 <= start < end"
+            }
+            ConfigError::FaultFactorInvalid => {
+                "degrade factors must be positive and finite; \
+                 shock fractions must lie in (0, 1]"
+            }
+            ConfigError::FaultBackoffInvalid => {
+                "fault retry backoff needs base > 0 and cap >= base"
             }
         };
         f.write_str(msg)
@@ -144,6 +168,10 @@ pub struct SimConfig {
     /// Observability switches (tracing, metrics, profiling). All off by
     /// default; never changes simulated behavior, only what is recorded.
     pub obs: ObsConfig,
+    /// Deterministic fault schedule (device faults, memory shocks) plus
+    /// the degradation policy for their victims. Empty by default: the
+    /// dark path is byte-for-byte the unfaulted simulation.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -186,6 +214,7 @@ impl SimConfig {
             firm_deadlines: true,
             record_arrivals: false,
             obs: ObsConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -213,6 +242,13 @@ impl SimConfig {
     /// Builder-style: evict prefetch-pool lines per `eviction`.
     pub fn with_eviction(mut self, eviction: EvictionSpec) -> Self {
         self.resources.eviction = eviction;
+        self
+    }
+
+    /// Builder-style: inject faults per `plan`
+    /// (`SimConfig::baseline(0.06).with_faults(FaultPlan::scaled(1.0))`).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -252,6 +288,36 @@ impl SimConfig {
         }
         if self.obs.trace == TraceMode::Ring && self.obs.ring_capacity == 0 {
             return Err(ConfigError::ZeroRingCapacity);
+        }
+        for fault in &self.faults.events {
+            let (start, end) = fault.window();
+            if !(start.is_finite() && end.is_finite() && start >= 0.0 && start < end) {
+                return Err(ConfigError::FaultWindowInvalid);
+            }
+            match *fault {
+                FaultSpec::DiskDegrade { disk, factor, .. } => {
+                    if disk >= r.num_disks {
+                        return Err(ConfigError::FaultDiskOutOfRange);
+                    }
+                    if !(factor > 0.0 && factor.is_finite()) {
+                        return Err(ConfigError::FaultFactorInvalid);
+                    }
+                }
+                FaultSpec::DiskOutage { disk, .. } => {
+                    if disk >= r.num_disks {
+                        return Err(ConfigError::FaultDiskOutOfRange);
+                    }
+                }
+                FaultSpec::MemoryShock { fraction, .. } => {
+                    if !(fraction > 0.0 && fraction <= 1.0) {
+                        return Err(ConfigError::FaultFactorInvalid);
+                    }
+                }
+            }
+        }
+        let retry = &self.faults.retry;
+        if retry.base.is_zero() || retry.cap < retry.base {
+            return Err(ConfigError::FaultBackoffInvalid);
         }
         Ok(())
     }
@@ -401,6 +467,13 @@ impl SimConfig {
                 .tenant(TenantSpec::hard("reporting", quotas[1])),
         );
         cfg
+    }
+
+    /// Fault-storm scenario: the baseline workload under
+    /// [`FaultPlan::scaled`] at `intensity` ∈ [0, 1]. Intensity 0 is the
+    /// fault-free control cell of the `faults` figure.
+    pub fn faulty(intensity: f64) -> Self {
+        Self::baseline(0.06).with_faults(FaultPlan::scaled(intensity))
     }
 }
 
@@ -587,6 +660,74 @@ mod tests {
             ConfigError::ZeroSsdQueueDepth.to_string(),
             "SSD queue depth must be positive"
         );
+    }
+
+    #[test]
+    fn validate_accepts_fault_plans_and_rejects_bad_ones() {
+        use crate::faults::{DegradationMode, FaultPlan, FaultSpec, RetrySpec};
+        use simkit::Duration;
+
+        for i in [0.0, 0.5, 1.0] {
+            assert_eq!(SimConfig::faulty(i).validate(), Ok(()));
+        }
+        assert!(SimConfig::faulty(0.0).faults.is_empty());
+        assert_eq!(
+            SimConfig::faulty(1.0).faults.default_mode,
+            DegradationMode::Abort
+        );
+
+        let fault_cfg = |spec: FaultSpec| {
+            SimConfig::baseline(0.06).with_faults(FaultPlan {
+                events: vec![spec],
+                ..FaultPlan::default()
+            })
+        };
+        let cfg = fault_cfg(FaultSpec::DiskOutage {
+            disk: 10,
+            start_secs: 1.0,
+            end_secs: 2.0,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultDiskOutOfRange));
+        let cfg = fault_cfg(FaultSpec::DiskDegrade {
+            disk: 0,
+            start_secs: 5.0,
+            end_secs: 5.0,
+            factor: 2.0,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultWindowInvalid));
+        let cfg = fault_cfg(FaultSpec::MemoryShock {
+            start_secs: f64::NAN,
+            end_secs: 2.0,
+            fraction: 0.5,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultWindowInvalid));
+        let cfg = fault_cfg(FaultSpec::DiskDegrade {
+            disk: 0,
+            start_secs: 1.0,
+            end_secs: 2.0,
+            factor: 0.0,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultFactorInvalid));
+        let cfg = fault_cfg(FaultSpec::MemoryShock {
+            start_secs: 1.0,
+            end_secs: 2.0,
+            fraction: 1.5,
+        });
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultFactorInvalid));
+
+        let mut cfg = SimConfig::faulty(1.0);
+        cfg.faults.retry = RetrySpec {
+            max_retries: 3,
+            base: Duration::ZERO,
+            cap: Duration::from_secs(1),
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultBackoffInvalid));
+        cfg.faults.retry = RetrySpec {
+            max_retries: 3,
+            base: Duration::from_secs(2),
+            cap: Duration::from_secs(1),
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultBackoffInvalid));
     }
 
     #[test]

@@ -29,13 +29,14 @@
 
 use crate::config::{QueryType, SimConfig};
 use crate::cpu::CpuManager;
+use crate::faults::{DegradationMode, FaultSpec};
 use crate::metrics::{
     ClassOutcome, RunReport, TenantOutcome, TimingTallies, WindowPoint,
 };
 use exec::{Action, ActionRun, ExternalSort, FileRef, HashJoin, Operator};
 use obs::{
-    CounterId, GaugeId, HistId, MetricsRegistry, Profiler, Section, TraceEvent,
-    TraceKind, TraceMode, Tracer,
+    CounterId, DegradedAction, FaultClass, GaugeId, HistId, MetricsRegistry, Profiler,
+    Section, TraceEvent, TraceKind, TraceMode, Tracer,
 };
 use pmm::{
     AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
@@ -74,8 +75,31 @@ pub enum Event {
         /// The query whose deadline passed.
         query: QueryId,
     },
+    /// A scheduled fault-plan transition fires (degrade/outage/shock edge).
+    Fault {
+        /// Index into the simulator's precomputed transition list.
+        index: usize,
+    },
+    /// A disk's retry backoff elapsed; the device tries the access again.
+    IoRetry {
+        /// Disk index.
+        disk: usize,
+    },
     /// End of the simulation.
     EndOfRun,
+}
+
+/// One edge of a [`FaultSpec`] window, precomputed at construction so the
+/// event handler is a plain table lookup. The list is sorted by time with
+/// plan order as the tie-break, so identical plans always fire identically.
+#[derive(Clone, Copy, Debug)]
+enum FaultTransition {
+    Degrade { disk: u32, factor: f64 },
+    DegradeEnd { disk: u32 },
+    Outage { disk: u32 },
+    OutageEnd { disk: u32 },
+    Shock { fraction: f64 },
+    ShockEnd,
 }
 
 /// What a live query is currently waiting on.
@@ -199,6 +223,10 @@ struct TenantState {
     b_char_mem: Tally,
     b_char_ios: Tally,
     b_char_norm: Tally,
+    /// The current feedback window overlapped a memory shock: close it
+    /// without feeding the policy (shock-era samples would poison the
+    /// learned batches), mirroring the global taint flag.
+    b_tainted: bool,
 }
 
 impl TenantState {
@@ -222,6 +250,7 @@ impl TenantState {
             b_char_mem: Tally::new(),
             b_char_ios: Tally::new(),
             b_char_norm: Tally::new(),
+            b_tainted: false,
         }
     }
 }
@@ -382,6 +411,12 @@ struct ObsMetrics {
     cpu_bursts: CounterId,
     io_requests: CounterId,
     cache_hits: CounterId,
+    faults_injected: CounterId,
+    faults_io_retries: CounterId,
+    faults_aborts: CounterId,
+    faults_requeues: CounterId,
+    faults_shock_victims: CounterId,
+    faults_batches_segmented: CounterId,
     mpl: GaugeId,
     response: HistId,
 }
@@ -397,6 +432,14 @@ impl ObsMetrics {
         let cpu_bursts = reg.counter("cpu.bursts");
         let io_requests = reg.counter("disk.requests");
         let cache_hits = reg.counter("disk.cache_hits");
+        // Fault instrumentation registers after the seed counters so the
+        // established windowed-delta column order is preserved.
+        let faults_injected = reg.counter("faults.injected");
+        let faults_io_retries = reg.counter("faults.io_retries");
+        let faults_aborts = reg.counter("faults.aborts");
+        let faults_requeues = reg.counter("faults.requeues");
+        let faults_shock_victims = reg.counter("faults.shock_victims");
+        let faults_batches_segmented = reg.counter("faults.batches_segmented");
         let mpl = reg.gauge("engine.mpl");
         let response = reg.histogram("engine.response_secs", RESPONSE_BUCKETS);
         ObsMetrics {
@@ -409,6 +452,12 @@ impl ObsMetrics {
             cpu_bursts,
             io_requests,
             cache_hits,
+            faults_injected,
+            faults_io_retries,
+            faults_aborts,
+            faults_requeues,
+            faults_shock_victims,
+            faults_batches_segmented,
             mpl,
             response,
         }
@@ -477,6 +526,14 @@ pub struct Simulator {
     // Re-entrancy guard for reallocation.
     reallocating: bool,
     realloc_pending: bool,
+    // Fault plan: precomputed window edges (empty plans schedule nothing —
+    // the dark path cannot move an event), the memory ceiling the policy
+    // sees (shrunk by an active shock), and the batch taint flags that keep
+    // shock-era samples out of the policy's learned batches.
+    fault_events: Vec<(SimTime, FaultTransition)>,
+    effective_memory: u32,
+    shock_active: bool,
+    batch_tainted: bool,
     end: SimTime,
 }
 
@@ -494,7 +551,7 @@ impl Simulator {
         let start = SimTime::ZERO;
         let device = cfg.resources.device;
         let geometry = cfg.resources.geometry;
-        let disks = DiskFarm::new(
+        let mut disks = DiskFarm::new(
             cfg.resources.num_disks,
             || device.build(&geometry),
             cfg.resources.eviction,
@@ -502,6 +559,33 @@ impl Simulator {
             start,
         );
         let n_disks = cfg.resources.num_disks as usize;
+        for d in 0..n_disks {
+            disks.disk_mut(d).set_retry_spec(cfg.faults.retry);
+        }
+        // Expand the fault plan into window edges up front. Stable sort by
+        // time keeps plan order as the tie-break, so the firing sequence is
+        // a pure function of the plan.
+        let mut fault_events: Vec<(SimTime, FaultTransition)> = Vec::new();
+        for ev in &cfg.faults.events {
+            let (s, e) = ev.window();
+            let (w_start, w_end) = (SimTime::from_secs_f64(s), SimTime::from_secs_f64(e));
+            match *ev {
+                FaultSpec::DiskDegrade { disk, factor, .. } => {
+                    fault_events
+                        .push((w_start, FaultTransition::Degrade { disk, factor }));
+                    fault_events.push((w_end, FaultTransition::DegradeEnd { disk }));
+                }
+                FaultSpec::DiskOutage { disk, .. } => {
+                    fault_events.push((w_start, FaultTransition::Outage { disk }));
+                    fault_events.push((w_end, FaultTransition::OutageEnd { disk }));
+                }
+                FaultSpec::MemoryShock { fraction, .. } => {
+                    fault_events.push((w_start, FaultTransition::Shock { fraction }));
+                    fault_events.push((w_end, FaultTransition::ShockEnd));
+                }
+            }
+        }
+        fault_events.sort_by_key(|&(t, _)| t);
         let n_classes = cfg.classes.len();
         let end = SimTime::from_secs_f64(cfg.duration_secs);
         let tenants: Vec<TenantState> = cfg
@@ -526,7 +610,17 @@ impl Simulator {
             if cfg.record_arrivals {
                 mask |= TraceKind::ArrivalGap.bit();
             }
-            Tracer::with_mask(mode, cfg.obs.ring_capacity, mask)
+            // A trace path streams records to disk instead of buffering the
+            // run; arrival recording needs the in-memory records back, so
+            // it keeps the buffered sink.
+            match &cfg.obs.trace_path {
+                Some(path) if !cfg.record_arrivals && cfg.obs.trace != TraceMode::Off => {
+                    Tracer::streaming(path, mask).unwrap_or_else(|e| {
+                        panic!("cannot open trace stream {}: {e}", path.display())
+                    })
+                }
+                _ => Tracer::with_mask(mode, cfg.obs.ring_capacity, mask),
+            }
         };
         let obs_metrics = cfg.obs.metrics.then(|| Box::new(ObsMetrics::new()));
         let profiler = Profiler::new(cfg.obs.profile);
@@ -595,6 +689,10 @@ impl Simulator {
             policy_trace_seen: 0,
             reallocating: false,
             realloc_pending: false,
+            fault_events,
+            effective_memory: cfg.resources.memory_pages,
+            shock_active: false,
+            batch_tainted: false,
             end,
             cfg,
         }
@@ -604,6 +702,15 @@ impl Simulator {
     pub fn run(mut self) -> RunReport {
         for class in 0..self.cfg.classes.len() {
             self.schedule_next_arrival(class, SimTime::ZERO);
+        }
+        // Fault windows are fixed points of the plan, scheduled once here.
+        // An empty plan schedules nothing: the calendar, the RNG streams and
+        // every report byte stay identical to a fault-free engine.
+        for i in 0..self.fault_events.len() {
+            let at = self.fault_events[i].0;
+            if at < self.end {
+                self.cal.schedule(at, Event::Fault { index: i });
+            }
         }
         self.cal.schedule(self.end, Event::EndOfRun);
         loop {
@@ -621,6 +728,8 @@ impl Simulator {
                 Event::CpuDone { query } => self.on_cpu_done(t, query),
                 Event::DiskDone { disk } => self.on_disk_done(t, disk),
                 Event::Deadline { query } => self.on_deadline(t, query),
+                Event::Fault { index } => self.on_fault(t, index),
+                Event::IoRetry { disk } => self.on_io_retry(t, disk),
             }
             self.profiler.end(Section::Dispatch, t0);
         }
@@ -818,7 +927,9 @@ impl Simulator {
                 m.reg.inc(m.reallocations, 1);
             }
             self.snapshot.now = now;
-            self.snapshot.total_memory = self.cfg.resources.memory_pages;
+            // The policy budgets against the *effective* memory: an active
+            // memory shock shrinks the ceiling without touching the config.
+            self.snapshot.total_memory = self.effective_memory;
             self.snapshot.queries.clear();
             // The incrementally-maintained ED order stands in for the
             // policies' per-event re-sort: the snapshot arrives pre-sorted
@@ -1072,15 +1183,82 @@ impl Simulator {
     }
 
     fn pump_disk(&mut self, now: SimTime, disk: usize) {
-        let t0 = self.profiler.begin();
-        let started = self.disks.disk_mut(disk).start(now);
-        self.profiler.end(Section::DiskStart, t0);
-        if let Some((access, service)) = started {
+        // A loop rather than a single start: exhausted retries resolve their
+        // owner (abort or requeue) and then the *next* queued access gets
+        // its chance immediately — the disk must not sit idle behind a dead
+        // request.
+        loop {
+            let t0 = self.profiler.begin();
+            let started = self.disks.disk_mut(disk).start(now);
+            self.profiler.end(Section::DiskStart, t0);
+            let Some((access, service)) = started else {
+                return;
+            };
+            match service {
+                Service::Faulted { attempt, backoff } => {
+                    // Outage: the device holds the request and retries after
+                    // a capped exponential backoff priced in sim time. The
+                    // disk blocks (no new starts) but accrues no busy time.
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::IoRetry {
+                            query: access.owner,
+                            disk: disk as u32,
+                            attempt,
+                            backoff,
+                        },
+                    );
+                    if let Some(m) = &mut self.obs_metrics {
+                        m.reg.inc(m.faults_io_retries, 1);
+                    }
+                    self.cal.schedule(now + backoff, Event::IoRetry { disk });
+                    return;
+                }
+                Service::FaultExhausted => {
+                    // Retry budget spent: the I/O surfaces as a hard error
+                    // and the owner's class degradation policy decides.
+                    let owner = QueryId(access.owner);
+                    let Some(q) = self.live.get_mut(owner) else {
+                        continue; // owner already departed; drop the access
+                    };
+                    let class = q.class;
+                    let deadline = q.deadline;
+                    match self.cfg.faults.mode_of(class) {
+                        DegradationMode::Abort => {
+                            self.emit_degraded(
+                                now,
+                                owner,
+                                class,
+                                DegradedAction::Aborted,
+                            );
+                            if let Some(m) = &mut self.obs_metrics {
+                                m.reg.inc(m.faults_aborts, 1);
+                            }
+                            self.kill_query(now, owner);
+                        }
+                        DegradationMode::Requeue => {
+                            self.emit_degraded(
+                                now,
+                                owner,
+                                class,
+                                DegradedAction::Requeued,
+                            );
+                            if let Some(m) = &mut self.obs_metrics {
+                                m.reg.inc(m.faults_requeues, 1);
+                            }
+                            self.disks.disk_mut(disk).enqueue(deadline, access);
+                        }
+                    }
+                    continue;
+                }
+                Service::CacheHit | Service::Media { .. } => {}
+            }
             self.disk_inflight[disk] = Some(QueryId(access.owner));
             if !self.tracer.is_off() || self.obs_metrics.is_some() {
                 let (cache_hit, svc) = match service {
                     Service::CacheHit => (true, Duration::ZERO),
                     Service::Media { time, .. } => (false, time),
+                    _ => unreachable!("fault services handled above"),
                 };
                 self.tracer.emit(
                     now,
@@ -1110,15 +1288,32 @@ impl Simulator {
                     self.disk_util_batch[disk].begin_busy(now);
                     self.cal.schedule(now + time, Event::DiskDone { disk });
                 }
+                _ => unreachable!("fault services handled above"),
             }
+            return;
         }
     }
 
     fn on_deadline(&mut self, now: SimTime, query: QueryId) {
+        // This deadline event is the one firing — forget its handle so the
+        // shared kill path does not cancel an already-popped event.
+        if let Some(q) = self.live.get_mut(query) {
+            q.deadline_handle = None;
+        }
+        self.kill_query(now, query);
+    }
+
+    /// Abort one live query and reclaim everything it holds. Shared between
+    /// the firm-deadline path and fault degradation (exhausted I/O retries,
+    /// memory-shock victims under the abort mode); either way the query
+    /// departs counted as missed.
+    fn kill_query(&mut self, now: SimTime, query: QueryId) {
         let Some(q) = self.live.remove(query) else {
-            return; // completed before its deadline
+            return; // completed (or already killed) first
         };
-        // Firm abort: reclaim every resource the query holds.
+        if let Some(handle) = q.deadline_handle {
+            self.cal.cancel(handle);
+        }
         self.cpu.cancel(now, query, &mut self.cal);
         for d in 0..self.disks.len() {
             self.disks.disk_mut(d).cancel_queued(|a| a.owner == query.0);
@@ -1133,6 +1328,139 @@ impl Simulator {
         }
         self.record_served(now, &q, true);
         self.reallocate(now);
+    }
+
+    // ----- Fault plan ----------------------------------------------------
+
+    fn on_fault(&mut self, now: SimTime, index: usize) {
+        let transition = self.fault_events[index].1;
+        if let Some(m) = &mut self.obs_metrics {
+            m.reg.inc(m.faults_injected, 1);
+        }
+        match transition {
+            FaultTransition::Degrade { disk, factor } => {
+                self.disks.disk_mut(disk as usize).set_degrade(factor);
+                self.emit_fault(now, FaultClass::DiskDegrade, Some(disk), true, factor);
+            }
+            FaultTransition::DegradeEnd { disk } => {
+                self.disks.disk_mut(disk as usize).set_degrade(1.0);
+                self.emit_fault(now, FaultClass::DiskDegrade, Some(disk), false, 1.0);
+            }
+            FaultTransition::Outage { disk } => {
+                self.disks.disk_mut(disk as usize).set_outage(true);
+                self.emit_fault(now, FaultClass::DiskOutage, Some(disk), true, 0.0);
+            }
+            FaultTransition::OutageEnd { disk } => {
+                self.disks.disk_mut(disk as usize).set_outage(false);
+                self.emit_fault(now, FaultClass::DiskOutage, Some(disk), false, 0.0);
+                // Defensive restart; normally a pending backoff drains the
+                // queue when its retry event fires.
+                self.pump_disk(now, disk as usize);
+            }
+            FaultTransition::Shock { fraction } => {
+                let total = self.cfg.resources.memory_pages;
+                self.effective_memory =
+                    ((f64::from(total) * fraction).floor() as u32).max(1);
+                self.shock_active = true;
+                self.taint_batches();
+                self.emit_fault(now, FaultClass::MemoryShock, None, true, fraction);
+                self.reallocate(now);
+                self.shock_victims(now);
+            }
+            FaultTransition::ShockEnd => {
+                self.effective_memory = self.cfg.resources.memory_pages;
+                self.shock_active = false;
+                self.taint_batches();
+                self.emit_fault(now, FaultClass::MemoryShock, None, false, 1.0);
+                self.reallocate(now);
+            }
+        }
+    }
+
+    fn on_io_retry(&mut self, now: SimTime, disk: usize) {
+        // The backoff elapsed: unblock the device and try again (the held
+        // access goes first; a deadline abort may have dropped it, in which
+        // case the queue head is next).
+        self.disks.disk_mut(disk).retry_elapsed(now);
+        self.pump_disk(now, disk);
+    }
+
+    /// Deadline-aware degradation after a shock shrank memory: queries that
+    /// had been admitted but lost their whole grant are victims. The abort
+    /// mode kills them (counted missed, resources reclaimed) so survivors
+    /// keep their deadlines; the requeue mode suspends them in place to
+    /// resume when memory returns.
+    fn shock_victims(&mut self, now: SimTime) {
+        let mut victims: Vec<(QueryId, usize)> = self
+            .live
+            .iter_with_slots()
+            .filter(|(_, q)| q.first_admit.is_some() && q.granted == 0)
+            .map(|(_, q)| (q.id, q.class))
+            .collect();
+        victims.sort_unstable_by_key(|&(id, _)| id);
+        for (id, class) in victims {
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.inc(m.faults_shock_victims, 1);
+            }
+            match self.cfg.faults.mode_of(class) {
+                DegradationMode::Abort => {
+                    self.emit_degraded(now, id, class, DegradedAction::Aborted);
+                    if let Some(m) = &mut self.obs_metrics {
+                        m.reg.inc(m.faults_aborts, 1);
+                    }
+                    self.kill_query(now, id);
+                }
+                DegradationMode::Requeue => {
+                    self.emit_degraded(now, id, class, DegradedAction::Suspended);
+                }
+            }
+        }
+    }
+
+    /// Mark every open feedback window as overlapping a shock. Called on
+    /// both shock edges: a window straddling either edge mixes regimes and
+    /// must not reach the policy.
+    fn taint_batches(&mut self) {
+        self.batch_tainted = true;
+        for t in &mut self.tenants {
+            t.b_tainted = true;
+        }
+    }
+
+    fn emit_fault(
+        &mut self,
+        now: SimTime,
+        fault: FaultClass,
+        disk: Option<u32>,
+        active: bool,
+        factor: f64,
+    ) {
+        self.tracer.emit(
+            now,
+            TraceEvent::FaultInjected {
+                fault,
+                disk,
+                active,
+                factor,
+            },
+        );
+    }
+
+    fn emit_degraded(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        class: usize,
+        action: DegradedAction,
+    ) {
+        self.tracer.emit(
+            now,
+            TraceEvent::Degraded {
+                query: id.0,
+                class: class as u32,
+                action,
+            },
+        );
     }
 
     fn complete(&mut self, now: SimTime, q: LiveQuery) {
@@ -1294,18 +1622,30 @@ impl Simulator {
             char_operand_ios: to_summary(&self.batch_char_ios),
             char_norm_constraint: to_summary(&self.batch_char_norm),
         };
-        self.policy.on_batch(&stats);
-        self.tracer.emit(
-            now,
-            TraceEvent::BatchClosed {
-                served: stats.served,
-                missed: stats.missed,
-            },
-        );
-        self.emit_policy_decisions();
-        if let Some(m) = &mut self.obs_metrics {
-            m.reg.inc(m.batches, 1);
+        // A window that overlapped a memory shock is segmented out — closed
+        // and reset without feeding the policy, exactly like the regime
+        // detector segments its history — so shock-era samples never poison
+        // the learned batches.
+        if self.batch_tainted {
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.inc(m.faults_batches_segmented, 1);
+            }
+        } else {
+            self.policy.on_batch(&stats);
+            self.tracer.emit(
+                now,
+                TraceEvent::BatchClosed {
+                    served: stats.served,
+                    missed: stats.missed,
+                },
+            );
+            self.emit_policy_decisions();
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.inc(m.batches, 1);
+            }
         }
+        // The next window starts tainted while a shock is still active.
+        self.batch_tainted = self.shock_active;
         // Reset the batch windows.
         self.batch_served = 0;
         self.batch_missed = 0;
@@ -1351,6 +1691,7 @@ impl Simulator {
             char_operand_ios: to_summary(&t.b_char_ios),
             char_norm_constraint: to_summary(&t.b_char_norm),
         };
+        let tainted = t.b_tainted;
         t.b_served = 0;
         t.b_missed = 0;
         t.b_mpl.reset_window(now);
@@ -1359,6 +1700,15 @@ impl Simulator {
         t.b_char_mem.reset();
         t.b_char_ios.reset();
         t.b_char_norm.reset();
+        t.b_tainted = self.shock_active;
+        if tainted {
+            // Shock-era tenant windows are segmented out like the global
+            // batch: reset but never fed to the per-tenant controller.
+            if let Some(m) = &mut self.obs_metrics {
+                m.reg.inc(m.faults_batches_segmented, 1);
+            }
+            return;
+        }
         self.policy.on_tenant_batch(ti as u32, &stats);
         self.emit_policy_decisions();
         // The tenant's controller may have changed its strategy.
@@ -1835,6 +2185,155 @@ mod tests {
         // 12 gaps of 100 s land at t = 100..=1200 — every one served, then
         // the class goes quiet for the rest of the run.
         assert_eq!(report.served, 12);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_the_run_untouched() {
+        use crate::faults::FaultPlan;
+        let base = run_simulation(
+            quick_cfg(0.05, 2_000.0),
+            Box::new(MinMaxPolicy::unlimited()),
+        );
+        let mut cfg = quick_cfg(0.05, 2_000.0);
+        cfg.faults = FaultPlan::default();
+        let dark = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(base.served, dark.served);
+        assert_eq!(base.missed, dark.missed);
+        assert_eq!(base.avg_mpl, dark.avg_mpl);
+        assert_eq!(base.cpu_util, dark.cpu_util);
+        assert_eq!(base.events, dark.events, "not one event moves");
+    }
+
+    #[test]
+    fn fault_storm_is_deterministic_and_perturbs_the_run() {
+        let mk = || {
+            let mut cfg = SimConfig::faulty(1.0);
+            cfg.duration_secs = 2_000.0;
+            cfg
+        };
+        let a = run_simulation(mk(), Box::new(MinMaxPolicy::unlimited()));
+        let b = run_simulation(mk(), Box::new(MinMaxPolicy::unlimited()));
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.missed, b.missed);
+        assert_eq!(a.avg_mpl, b.avg_mpl);
+        assert_eq!(a.cpu_util, b.cpu_util);
+        let mut clean_cfg = SimConfig::baseline(0.06);
+        clean_cfg.duration_secs = 2_000.0;
+        let clean = run_simulation(clean_cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert!(a.served > 0);
+        assert_ne!(
+            (a.missed, a.cpu_util),
+            (clean.missed, clean.cpu_util),
+            "the storm must perturb the run"
+        );
+    }
+
+    #[test]
+    fn fault_transitions_reach_the_trace() {
+        let mut cfg = SimConfig::faulty(1.0);
+        cfg.duration_secs = 400.0;
+        cfg.obs.trace = TraceMode::Full;
+        let report = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        let faults = report
+            .obs_trace
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::FaultInjected { .. }))
+            .count();
+        // Four scheduled faults, two window edges each.
+        assert_eq!(faults, 8, "every transition traces exactly once");
+    }
+
+    #[test]
+    fn outage_across_all_disks_forces_retries() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let mut cfg = quick_cfg(0.08, 800.0);
+        cfg.obs.trace = TraceMode::Full;
+        let mut plan = FaultPlan::default();
+        for d in 0..cfg.resources.num_disks {
+            plan.events.push(FaultSpec::DiskOutage {
+                disk: d,
+                start_secs: 100.0,
+                end_secs: 200.0,
+            });
+        }
+        cfg.faults = plan;
+        let report = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        let retries = report
+            .obs_trace
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::IoRetry { .. }))
+            .count();
+        assert!(retries > 0, "a 100 s total outage must force backoffs");
+        assert!(report.served > 0, "the system recovers after the window");
+    }
+
+    #[test]
+    fn shock_victims_follow_the_class_degradation_mode() {
+        use crate::faults::{DegradationMode, FaultPlan, FaultSpec};
+        use obs::DegradedAction;
+        let run = |mode| {
+            let mut cfg = quick_cfg(0.10, 800.0);
+            cfg.obs.trace = TraceMode::Full;
+            cfg.faults = FaultPlan {
+                events: vec![FaultSpec::MemoryShock {
+                    start_secs: 100.0,
+                    end_secs: 500.0,
+                    fraction: 0.02,
+                }],
+                default_mode: mode,
+                ..FaultPlan::default()
+            };
+            run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()))
+        };
+        let count = |report: &RunReport, want: DegradedAction| {
+            report
+                .obs_trace
+                .iter()
+                .filter(
+                    |r| matches!(r.event, TraceEvent::Degraded { action, .. } if action == want),
+                )
+                .count()
+        };
+        let abort = run(DegradationMode::Abort);
+        assert!(
+            count(&abort, DegradedAction::Aborted) > 0,
+            "a severe shock under abort mode kills admitted victims"
+        );
+        let requeue = run(DegradationMode::Requeue);
+        assert!(
+            count(&requeue, DegradedAction::Suspended) > 0,
+            "a severe shock under requeue mode suspends victims"
+        );
+        assert_eq!(
+            count(&requeue, DegradedAction::Aborted),
+            0,
+            "requeue mode never fault-aborts"
+        );
+    }
+
+    #[test]
+    fn streaming_trace_matches_the_buffered_rendering() {
+        let dir = std::env::temp_dir().join("rtdbs_stream_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.txt");
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = quick_cfg(0.05, 600.0);
+        cfg.obs.trace = TraceMode::Full;
+        let buffered = run_simulation(cfg.clone(), Box::new(MinMaxPolicy::unlimited()));
+        let rendered = obs::render_text(&buffered.obs_trace);
+        cfg.obs.trace_path = Some(path.clone());
+        let streamed = run_simulation(cfg, Box::new(MinMaxPolicy::unlimited()));
+        assert!(
+            streamed.obs_trace.is_empty(),
+            "streamed runs keep no in-memory trace"
+        );
+        assert_eq!(
+            streamed.served, buffered.served,
+            "streaming must not perturb the run"
+        );
+        let on_disk = std::fs::read_to_string(&path).expect("streamed trace file");
+        assert_eq!(on_disk, rendered, "streamed bytes == buffered rendering");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Deterministic fault injection: scheduled device faults and memory
+//! shocks, plus the engine's degradation policy for their victims.
+//!
+//! A [`FaultPlan`] lives on `SimConfig` and schedules fault events at fixed
+//! instants of **virtual time** — no randomness is consumed, so a plan
+//! perturbs a run only through the faults themselves and the empty plan is
+//! byte-for-byte the unfaulted simulation. Three fault shapes:
+//!
+//! * [`FaultSpec::DiskDegrade`] — a brown-out window during which one
+//!   disk's media service times are multiplied by `factor` (the cache is
+//!   unaffected: the media is slow, not the controller).
+//! * [`FaultSpec::DiskOutage`] — a window during which every access to one
+//!   disk fails, even would-be cache hits. The storage layer retries with
+//!   capped exponential backoff priced in sim time ([`RetrySpec`]); when
+//!   the budget is spent the engine applies the owning query's
+//!   [`DegradationMode`].
+//! * [`FaultSpec::MemoryShock`] — total buffer memory shrinks to
+//!   `fraction` of its configured size, then restores. The engine
+//!   reallocates under the shrunken pool and applies each de-scheduled
+//!   victim's [`DegradationMode`]; policy feedback batches that overlap the
+//!   shock are segmented out (like the regime detector's segmentation) so
+//!   learned estimates are not poisoned by shock-era samples.
+
+pub use storage::RetrySpec;
+
+/// One scheduled fault: a window `[start_secs, end_secs)` of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Disk `disk`'s media service times are multiplied by `factor`
+    /// (> 1 = slower) for the window.
+    DiskDegrade {
+        /// Target disk index.
+        disk: u32,
+        /// Window start (seconds of virtual time).
+        start_secs: f64,
+        /// Window end (seconds of virtual time).
+        end_secs: f64,
+        /// Media service-time multiplier while degraded.
+        factor: f64,
+    },
+    /// Disk `disk` is unreachable for the window: every access fails and
+    /// enters the retry/backoff ladder.
+    DiskOutage {
+        /// Target disk index.
+        disk: u32,
+        /// Window start (seconds of virtual time).
+        start_secs: f64,
+        /// Window end (seconds of virtual time).
+        end_secs: f64,
+    },
+    /// Total buffer memory shrinks to `fraction` of its configured size
+    /// for the window, then restores.
+    MemoryShock {
+        /// Window start (seconds of virtual time).
+        start_secs: f64,
+        /// Window end (seconds of virtual time).
+        end_secs: f64,
+        /// Fraction of `resources.memory_pages` available during the
+        /// shock, in (0, 1]; at least one page survives.
+        fraction: f64,
+    },
+}
+
+impl FaultSpec {
+    /// The fault's window as `(start_secs, end_secs)`.
+    pub fn window(&self) -> (f64, f64) {
+        match *self {
+            FaultSpec::DiskDegrade {
+                start_secs,
+                end_secs,
+                ..
+            }
+            | FaultSpec::DiskOutage {
+                start_secs,
+                end_secs,
+                ..
+            }
+            | FaultSpec::MemoryShock {
+                start_secs,
+                end_secs,
+                ..
+            } => (start_secs, end_secs),
+        }
+    }
+}
+
+/// What the engine does with a query a fault de-schedules: one whose I/O
+/// hard-failed, or one a memory shock left without buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DegradationMode {
+    /// Abort it and count it missed — the firm-deadline reflex; frees its
+    /// resources immediately for the survivors.
+    #[default]
+    Abort,
+    /// Keep it: a hard-failed I/O is re-queued (it backs off again if the
+    /// outage persists) and a shock victim stays suspended at zero grant
+    /// until memory returns. Its deadline still applies — requeue trades
+    /// throughput for a chance to finish.
+    Requeue,
+}
+
+impl std::fmt::Display for DegradationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradationMode::Abort => "abort",
+            DegradationMode::Requeue => "requeue",
+        })
+    }
+}
+
+/// A deterministic schedule of faults plus the degradation policy for
+/// their victims. The default plan is empty: no faults, no behavior
+/// change, not one event or random draw different from the unfaulted run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Scheduled faults, applied at their window boundaries.
+    pub events: Vec<FaultSpec>,
+    /// Retry/backoff parameters every disk uses during outages.
+    pub retry: RetrySpec,
+    /// Degradation mode for classes without an explicit entry in
+    /// `class_modes`.
+    pub default_mode: DegradationMode,
+    /// Per-class overrides, indexed by workload-class position.
+    pub class_modes: Vec<DegradationMode>,
+}
+
+impl FaultPlan {
+    /// True when the plan schedules nothing — the dark path.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The degradation mode for workload class `class`.
+    pub fn mode_of(&self, class: usize) -> DegradationMode {
+        self.class_modes
+            .get(class)
+            .copied()
+            .unwrap_or(self.default_mode)
+    }
+
+    /// The canonical fault storm at `intensity` ∈ [0, 1], sized to land
+    /// inside even a smoke run's 300-second horizon: a two-disk brown-out,
+    /// an outage on a third disk, and a memory shock, all overlapping.
+    /// `intensity ≤ 0` is the empty plan (the sweep's control cell).
+    pub fn scaled(intensity: f64) -> FaultPlan {
+        if intensity <= 0.0 {
+            return FaultPlan::default();
+        }
+        FaultPlan {
+            events: vec![
+                FaultSpec::DiskDegrade {
+                    disk: 0,
+                    start_secs: 60.0,
+                    end_secs: 240.0,
+                    factor: 1.0 + 2.0 * intensity,
+                },
+                FaultSpec::DiskDegrade {
+                    disk: 1,
+                    start_secs: 60.0,
+                    end_secs: 240.0,
+                    factor: 1.0 + 2.0 * intensity,
+                },
+                FaultSpec::DiskOutage {
+                    disk: 2,
+                    start_secs: 120.0,
+                    end_secs: 120.0 + 90.0 * intensity,
+                },
+                FaultSpec::MemoryShock {
+                    start_secs: 150.0,
+                    end_secs: 270.0,
+                    fraction: 1.0 - 0.5 * intensity,
+                },
+            ],
+            retry: RetrySpec::default(),
+            default_mode: DegradationMode::Abort,
+            class_modes: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.default_mode, DegradationMode::Abort);
+        assert_eq!(plan.mode_of(3), DegradationMode::Abort);
+    }
+
+    #[test]
+    fn class_modes_override_the_default() {
+        let plan = FaultPlan {
+            class_modes: vec![DegradationMode::Requeue],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.mode_of(0), DegradationMode::Requeue);
+        assert_eq!(plan.mode_of(1), DegradationMode::Abort, "fallback");
+    }
+
+    #[test]
+    fn scaled_zero_is_the_control_cell() {
+        assert!(FaultPlan::scaled(0.0).is_empty());
+        assert!(FaultPlan::scaled(-1.0).is_empty());
+        let storm = FaultPlan::scaled(1.0);
+        assert_eq!(storm.events.len(), 4);
+        for e in &storm.events {
+            let (s, t) = e.window();
+            assert!(s < t, "window {s}..{t} must be non-empty");
+            assert!(t <= 300.0, "fits the smoke horizon");
+        }
+    }
+
+    #[test]
+    fn modes_render_as_cell_name_prefixes() {
+        assert_eq!(DegradationMode::Abort.to_string(), "abort");
+        assert_eq!(DegradationMode::Requeue.to_string(), "requeue");
+    }
+}

@@ -21,6 +21,7 @@
 pub mod config;
 pub mod cpu;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 
 pub use config::{
@@ -29,4 +30,5 @@ pub use config::{
     TraceMode, WorkloadClass,
 };
 pub use engine::{run_simulation, Event, Simulator};
+pub use faults::{DegradationMode, FaultPlan, FaultSpec, RetrySpec};
 pub use metrics::{ClassOutcome, RunReport, TenantOutcome, Timings, WindowPoint};

@@ -65,9 +65,63 @@ pub enum Service {
         /// model; latency + transfer on the SSD).
         time: Duration,
     },
+    /// The device is in an outage window: the access failed and the disk
+    /// holds it for a retry after `backoff` of sim time. The caller
+    /// schedules the retry; backoff time does **not** count as utilization
+    /// (the device is unreachable, not serving).
+    Faulted {
+        /// 1-based retry attempt this failure begins (1 = first retry).
+        attempt: u32,
+        /// Capped exponential backoff before the retry may start.
+        backoff: Duration,
+    },
+    /// The access failed and its retry budget is spent: a hard I/O error.
+    /// The disk stays idle; the caller decides the owner's fate
+    /// (abort vs. requeue).
+    FaultExhausted,
 }
 
-/// One disk: queue + service model + cache + utilization accounting.
+/// Retry/backoff parameters for transient device faults: a failed access is
+/// retried up to `max_retries` times, waiting
+/// `min(base · 2^(attempt−1), cap)` of sim time before each attempt, then
+/// surfaces [`Service::FaultExhausted`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Retry attempts before the hard error (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        RetrySpec {
+            max_retries: 5,
+            base: Duration::from_secs_f64(0.25),
+            cap: Duration::from_secs(4),
+        }
+    }
+}
+
+impl RetrySpec {
+    /// Backoff before retry `attempt` (1-based): capped exponential.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let mut b = self.base;
+        for _ in 1..attempt {
+            if b >= self.cap {
+                break;
+            }
+            b = Duration(b.0.saturating_mul(2));
+        }
+        b.min(self.cap)
+    }
+}
+
+/// One disk: queue + service model + cache + utilization accounting, plus
+/// fault state (degradation factor, outage flag, pending retry) driven by
+/// the simulator's fault plan.
 pub struct Disk {
     /// Timing and positional state of the device.
     model: Box<dyn ServiceModel>,
@@ -76,6 +130,14 @@ pub struct Disk {
     cache: BufferPool,
     utilization: Utilization,
     completed: u64,
+    /// Media service-time multiplier (1.0 = healthy).
+    degrade: f64,
+    /// True inside an outage window: every access fails, even would-be
+    /// cache hits — the device is unreachable, not just slow.
+    outage: bool,
+    /// The access waiting out a backoff, with its retry attempt count.
+    retry: Option<(Access, u32)>,
+    retry_cfg: RetrySpec,
 }
 
 impl Disk {
@@ -95,7 +157,32 @@ impl Disk {
             cache,
             utilization: Utilization::new(start),
             completed: 0,
+            degrade: 1.0,
+            outage: false,
+            retry: None,
+            retry_cfg: RetrySpec::default(),
         }
+    }
+
+    /// Set the media service-time multiplier (1.0 = healthy). Applies to
+    /// accesses started from now on; the in-flight one keeps its time.
+    pub fn set_degrade(&mut self, factor: f64) {
+        self.degrade = factor;
+    }
+
+    /// Enter (`true`) or leave (`false`) an outage window.
+    pub fn set_outage(&mut self, outage: bool) {
+        self.outage = outage;
+    }
+
+    /// True inside an outage window.
+    pub fn is_outage(&self) -> bool {
+        self.outage
+    }
+
+    /// Replace the retry/backoff parameters.
+    pub fn set_retry_spec(&mut self, spec: RetrySpec) {
+        self.retry_cfg = spec;
     }
 
     /// The device's service model (for introspection/tests).
@@ -129,15 +216,49 @@ impl Disk {
         if self.busy {
             return None;
         }
-        let request = self.queue.pop(self.model.position())?;
-        let access = request.tag;
+        // A pending retry goes before the queue: it already holds the
+        // device's attention.
+        let (access, attempts) = match self.retry.take() {
+            Some((a, n)) => (a, n),
+            None => (self.queue.pop(self.model.position())?.tag, 0),
+        };
+        if self.outage {
+            let attempt = attempts + 1;
+            if attempt > self.retry_cfg.max_retries {
+                // Budget spent: hard error; the disk stays idle so the
+                // caller can immediately start the next request.
+                return Some((access, Service::FaultExhausted));
+            }
+            let backoff = self.retry_cfg.backoff(attempt);
+            self.retry = Some((access.clone(), attempt));
+            // Busy blocks the queue for the backoff, but the device is not
+            // serving — utilization stays flat.
+            self.busy = true;
+            return Some((access, Service::Faulted { attempt, backoff }));
+        }
         // Requests still waiting behind this one: the queue-depth hint
         // models with internal parallelism consume.
         let queued = self.queue.len();
-        let service = self.service(&access, queued);
+        let mut service = self.service(&access, queued);
+        if self.degrade != 1.0 {
+            if let Service::Media { time } = service {
+                service = Service::Media {
+                    time: time.scale(self.degrade),
+                };
+            }
+        }
         self.busy = true;
         self.utilization.begin_busy(now);
         Some((access, service))
+    }
+
+    /// A [`Service::Faulted`] backoff has elapsed: release the device so
+    /// [`Disk::start`] can run the retry (or, if it was cancelled
+    /// meanwhile, the next queued request). No utilization bookkeeping —
+    /// the backoff never counted as busy time.
+    pub fn retry_elapsed(&mut self, _now: SimTime) {
+        debug_assert!(self.busy, "retry_elapsed without a pending backoff");
+        self.busy = false;
     }
 
     /// Compute the service decision for `access` (cache consult + timing).
@@ -198,9 +319,15 @@ impl Disk {
 
     /// Remove queued requests matching `pred` (aborted queries). In-flight
     /// requests are allowed to complete (a started disk access cannot be
-    /// recalled).
+    /// recalled). A matching access waiting out a retry backoff is dropped
+    /// too — its pending retry event then just releases the device.
     pub fn cancel_queued<F: Fn(&Access) -> bool>(&mut self, pred: F) -> usize {
-        self.queue.discard_where(|a| pred(a))
+        let mut n = self.queue.discard_where(|a| pred(a));
+        if self.retry.as_ref().is_some_and(|(a, _)| pred(a)) {
+            self.retry = None;
+            n += 1;
+        }
+        n
     }
 
     /// Invalidate cached lines of a deleted file.
@@ -358,7 +485,7 @@ mod tests {
                 let expected = DiskGeometry::default().access_time(700, 1);
                 assert_eq!(time, expected);
             }
-            Service::CacheHit => panic!("cold read cannot hit"),
+            other => panic!("cold read cannot {other:?}"),
         }
         disk.finish(SimTime(100));
         disk.enqueue(SimTime(10), acc);
@@ -528,6 +655,105 @@ mod tests {
             DiskFarm::new(2, || device.build(&g), EvictionSpec::Lru, 6, SimTime::ZERO);
         assert_eq!(farm.len(), 2);
         assert_eq!(farm.disk(0).model().name(), "ssd");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let spec = RetrySpec {
+            max_retries: 10,
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(4),
+        };
+        assert_eq!(spec.backoff(1), Duration::from_secs(1));
+        assert_eq!(spec.backoff(2), Duration::from_secs(2));
+        assert_eq!(spec.backoff(3), Duration::from_secs(4));
+        assert_eq!(spec.backoff(4), Duration::from_secs(4), "capped");
+        assert_eq!(spec.backoff(100), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn outage_fails_even_cache_hits_and_retries_then_exhausts() {
+        let mut disk = cyl_disk();
+        // Warm the cache.
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        disk.start(SimTime::ZERO).unwrap();
+        disk.finish(SimTime(100));
+        disk.reset_utilization(SimTime(100));
+        disk.set_retry_spec(RetrySpec {
+            max_retries: 2,
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(4),
+        });
+        disk.set_outage(true);
+        let mut now = SimTime(100);
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        // Two retries with doubling backoff, then the hard error.
+        let (_, s1) = disk.start(now).unwrap();
+        assert_eq!(
+            s1,
+            Service::Faulted {
+                attempt: 1,
+                backoff: Duration::from_secs(1)
+            },
+            "a warm cache does not save an unreachable device"
+        );
+        assert!(disk.is_busy(), "backoff occupies the device");
+        now += Duration::from_secs(1);
+        disk.retry_elapsed(now);
+        let (_, s2) = disk.start(now).unwrap();
+        assert_eq!(
+            s2,
+            Service::Faulted {
+                attempt: 2,
+                backoff: Duration::from_secs(2)
+            }
+        );
+        now += Duration::from_secs(2);
+        disk.retry_elapsed(now);
+        let (_, s3) = disk.start(now).unwrap();
+        assert_eq!(s3, Service::FaultExhausted);
+        assert!(!disk.is_busy(), "hard error leaves the disk idle");
+        // Backoff never counted as busy time.
+        assert_eq!(disk.utilization(now), 0.0);
+        // Recovery: the same access succeeds (from cache) once healthy.
+        disk.set_outage(false);
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        let (_, s4) = disk.start(now).unwrap();
+        assert_eq!(s4, Service::CacheHit);
+    }
+
+    #[test]
+    fn degrade_scales_media_time_only() {
+        let g = DiskGeometry::default();
+        let mut disk = cyl_disk();
+        disk.set_degrade(3.0);
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        let (_, s) = disk.start(SimTime::ZERO).unwrap();
+        match s {
+            Service::Media { time } => {
+                assert_eq!(time, g.access_time(700, 6).scale(3.0));
+            }
+            _ => panic!("expected media access"),
+        }
+        disk.finish(SimTime(100));
+        // Cache hits are unaffected: the media is slow, not the cache.
+        disk.enqueue(SimTime(1), read(0, 0, 6, 700));
+        let (_, s) = disk.start(SimTime(100)).unwrap();
+        assert_eq!(s, Service::CacheHit);
+    }
+
+    #[test]
+    fn cancel_queued_drops_pending_retry() {
+        let mut disk = cyl_disk();
+        disk.set_outage(true);
+        disk.enqueue(SimTime(1), read(7, 0, 6, 700));
+        let (_, s) = disk.start(SimTime::ZERO).unwrap();
+        assert!(matches!(s, Service::Faulted { .. }));
+        let n = disk.cancel_queued(|a| a.file == FileId::Relation(7));
+        assert_eq!(n, 1, "the retried access counts as cancelled");
+        // The backoff event still releases the device; nothing restarts.
+        disk.retry_elapsed(SimTime(1_000_000));
+        assert!(disk.start(SimTime(1_000_000)).is_none(), "queue is empty");
     }
 
     #[test]

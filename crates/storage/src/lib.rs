@@ -30,7 +30,7 @@ pub mod pool;
 pub mod queue;
 pub mod service;
 
-pub use disk::{Access, Disk, DiskFarm, IoKind, Service};
+pub use disk::{Access, Disk, DiskFarm, IoKind, RetrySpec, Service};
 pub use geometry::{DiskGeometry, ServiceTable};
 pub use layout::{DiskId, FileId, FileMeta, Layout, RelationGroupSpec, RelationMeta};
 pub use pool::{

@@ -1,0 +1,126 @@
+//! The fault layer's cross-crate contracts:
+//!
+//! 1. **Determinism under faults**: a fault storm is part of the simulated
+//!    world, so the merged `faults` figure is byte-identical for any
+//!    `--threads` value — same bar the healthy figures meet.
+//! 2. **Dark path**: a `FaultPlan` that never fires inside the horizon is
+//!    indistinguishable from no plan at all — not one event moves.
+//! 3. **Crash tolerance**: a replication that panics is quarantined with
+//!    its provenance while every other cell completes, and the partial
+//!    result is itself deterministic.
+
+use bench::driver::{quarantine_json, run_figure, DriverConfig};
+use integration_tests::short_baseline;
+use pmm_core::prelude::*;
+
+#[test]
+fn faults_figure_is_thread_count_invariant() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 400.0,
+        master_seed: 1994,
+        ..DriverConfig::default()
+    };
+    let serial = run_figure("faults", base.clone()).expect("serial run");
+    let parallel =
+        run_figure("faults", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "BENCH_faults.json must be byte-identical across thread counts"
+    );
+    // The sweep exercises both degradation modes at a fault-free control
+    // and a full-intensity storm; nothing quarantines on a healthy plan.
+    assert!(
+        serial.quarantine.is_empty(),
+        "healthy sweep quarantines nothing"
+    );
+    assert!(serial.cells.iter().all(|c| c.replications == 2));
+    assert!(serial.cells.iter().any(|c| c.policy.starts_with("abort/")));
+    assert!(serial
+        .cells
+        .iter()
+        .any(|c| c.policy.starts_with("requeue/")));
+}
+
+/// A plan whose every window opens after the horizon closes must leave the
+/// run untouched: scheduling is gated on `at < end`, so an inert plan
+/// consumes no events and no randomness.
+#[test]
+fn out_of_horizon_fault_plan_is_inert() {
+    let secs = 1_500.0;
+    let dark = run_simulation(short_baseline(0.06, secs), Box::new(Pmm::with_defaults()));
+    let mut cfg = short_baseline(0.06, secs);
+    cfg.faults = FaultPlan {
+        events: vec![
+            FaultSpec::DiskOutage {
+                disk: 0,
+                start_secs: secs + 100.0,
+                end_secs: secs + 200.0,
+            },
+            FaultSpec::MemoryShock {
+                start_secs: secs + 50.0,
+                end_secs: secs + 60.0,
+                fraction: 0.5,
+            },
+        ],
+        ..FaultPlan::default()
+    };
+    let inert = run_simulation(cfg, Box::new(Pmm::with_defaults()));
+    assert_eq!(dark.served, inert.served);
+    assert_eq!(dark.missed, inert.missed);
+    assert_eq!(dark.events, inert.events, "not one event may move");
+    assert_eq!(
+        format!(
+            "{:.12}/{:.12}/{:.12}/{:.12}",
+            dark.avg_mpl, dark.cpu_util, dark.disk_util, dark.avg_fluctuations
+        ),
+        format!(
+            "{:.12}/{:.12}/{:.12}/{:.12}",
+            inert.avg_mpl, inert.cpu_util, inert.disk_util, inert.avg_fluctuations
+        ),
+    );
+    assert_eq!(dark.windows.len(), inert.windows.len());
+}
+
+#[test]
+fn panicking_replication_is_quarantined_not_fatal() {
+    let cfg = DriverConfig {
+        seeds: 2,
+        threads: 2,
+        secs: 200.0,
+        master_seed: 7,
+        ..DriverConfig::default()
+    };
+    let r = run_figure("crashtest", cfg.clone()).expect("sweep survives");
+    // The middle cell runs the deliberately panicking policy: both of its
+    // replications quarantine, in replication order.
+    assert_eq!(r.quarantine.len(), 2, "both panic-cell replications caught");
+    for (rep, q) in r.quarantine.iter().enumerate() {
+        assert_eq!(q.cell, 1);
+        assert_eq!(q.policy, "panic");
+        assert_eq!(q.rep, rep as u64);
+        assert!(
+            q.message.contains("deliberate crashtest panic"),
+            "panic message surfaced: {}",
+            q.message
+        );
+    }
+    // The healthy neighbours complete with full replication counts.
+    assert_eq!(r.cells.len(), 3);
+    assert_eq!(r.cells[0].replications, 2);
+    assert!(r.cells[0].served > 0);
+    assert_eq!(r.cells[1].replications, 0, "panicked cell keeps no reports");
+    assert_eq!(r.cells[2].replications, 2);
+    assert!(r.cells[2].served > 0);
+    // The quarantine report names the failed unit and its seed, and the
+    // partial result is deterministic: a rerun reproduces it bit for bit.
+    let qjson = quarantine_json(&r);
+    assert!(qjson.contains("\"kind\": \"quarantine\""));
+    assert!(qjson.contains("\"policy\":\"panic\""));
+    assert!(qjson.contains(&format!("\"seed\":{}", r.quarantine[0].seed)));
+    let again = run_figure("crashtest", cfg).expect("rerun survives");
+    assert_eq!(r.to_json(), again.to_json());
+    assert_eq!(qjson, quarantine_json(&again));
+}

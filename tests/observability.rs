@@ -25,6 +25,7 @@ fn observed(secs: f64, mode: TraceMode) -> RunReport {
     cfg.obs = ObsConfig {
         trace: mode,
         ring_capacity: 64,
+        trace_path: None,
         metrics: true,
         profile: true,
     };
