@@ -14,7 +14,9 @@
 #![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pmm_core::exec::{Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator};
+use pmm_core::exec::{
+    Action, ActionRun, ExecConfig, ExternalSort, HashJoin, Operator, RUN_BATCH,
+};
 use pmm_core::obs::{MetricsRegistry, TraceEvent, TraceKind, TraceMode, Tracer};
 use pmm_core::pmm::{
     minmax_allocate, minmax_allocate_into, proportional_allocate, AllocScratch, Grants,
@@ -81,6 +83,38 @@ fn drain_runs(op: &mut dyn Operator) -> u64 {
     }
 }
 
+/// Drive an operator to completion through a *step-replay* planner: the
+/// pre-descriptor run protocol, re-entering the state machine once per
+/// action to fill each [`RUN_BATCH`] buffer. Against `drain_runs` (the
+/// closed-form descriptor planner) this isolates the analytic-planning win:
+/// same buffer round-trip, same action stream, only the fill differs.
+fn drain_step_replay(op: &mut dyn Operator) -> u64 {
+    let mut run = ActionRun::new();
+    let mut n = 0u64;
+    let mut cpu = 0u64;
+    loop {
+        let Some(action) = run.pop() else {
+            run.clear();
+            for _ in 0..RUN_BATCH {
+                let a = op.step();
+                let stop = matches!(a, Action::Parked | Action::Finished);
+                run.push(a);
+                if stop {
+                    break;
+                }
+            }
+            continue;
+        };
+        match action {
+            Action::Cpu(c) => cpu += c,
+            Action::Finished => return n ^ cpu,
+            Action::Parked => unreachable!("fixed allocation never parks"),
+            _ => {}
+        }
+        n += 1;
+    }
+}
+
 fn bench(c: &mut Criterion) {
     // Engine-realistic calendar depth: one in-flight event plus one deadline
     // per live query tops out around a couple hundred entries. Drain/refill
@@ -135,6 +169,48 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Epoch skip vs per-event heap traffic. The engine's inner loop is a
+    // schedule-then-pop chain: each dispatched action schedules its
+    // completion, which is the next event to fire. The one-element front
+    // buffer turns that whole epoch into buffer swaps — the resident
+    // deadline set below never sees a sift. `_front` is the chain shape
+    // (pure fast path); `_heap` schedules a second, later event per round
+    // so every other pop walks the heap — the per-event cost the front
+    // buffer skips.
+    c.bench_function("calendar/epoch_chain_front_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..256u64 {
+                cal.schedule(SimTime(u64::MAX / 2 + i), i);
+            }
+            let mut n = 0u64;
+            for k in 0..10_000u64 {
+                cal.schedule(cal.now() + Duration(1 + mix(k) % 1_000), k);
+                n += u64::from(cal.pop().is_some());
+            }
+            black_box(n)
+        })
+    });
+
+    c.bench_function("calendar/epoch_chain_heap_10k", |b| {
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..256u64 {
+                cal.schedule(SimTime(u64::MAX / 2 + i), i);
+            }
+            let mut n = 0u64;
+            for k in 0..5_000u64 {
+                let now = cal.now();
+                let d = 1 + mix(k) % 1_000;
+                cal.schedule(now + Duration(d), k);
+                cal.schedule(now + Duration(d + 1), k);
+                n += u64::from(cal.pop().is_some());
+                n += u64::from(cal.pop().is_some());
+            }
+            black_box(n)
+        })
+    });
+
     // The engine's firm-deadline pattern: every query schedules a far-future
     // deadline event that is cancelled when the query completes first.
     c.bench_function("calendar/deadline_churn_10k", |b| {
@@ -162,18 +238,17 @@ fn bench(c: &mut Criterion) {
     // Operator stepping at paper scale (Table 2 / Section 5.1 sizes):
     // the baseline join builds ‖R‖ = 1200 and probes ‖S‖ = 6000 pages; the
     // sort forms runs over 1200 pages with a 100-page workspace and merges
-    // them. `_step` is the seed one-`Action`-per-call protocol, `_run` the
-    // batched run-length protocol the engine drives — same action streams
-    // (pinned by `crates/exec/tests/run_protocol_model.rs`). Honest
-    // recording: in this *isolated* drain the run protocol pays for its
-    // buffer round-trip and per-plan checkpoint on top of the same state
-    // machine, so it reads ~2× slower per bare action. Engine-level
-    // events/s (`BENCH_perf.json`) is the in-situ measure, where the
-    // per-phase cost caches and the batched planning amortize against real
-    // calendar/CPU/disk work per action — there the protocols measure
-    // within a few percent of each other, and the PR's ≥1.3× fig3/fig8
-    // win comes from the whole package (placement caching, ED-order reuse,
-    // CPU heap, service-time memoization) riding on the run redesign.
+    // them. Three protocols over the *same* action stream (pinned by
+    // `crates/exec/tests/run_protocol_model.rs`): `_step` is the seed
+    // one-`Action`-per-call protocol, `_replay` fills each RUN_BATCH buffer
+    // by stepping the state machine per action (the pre-descriptor run
+    // protocol), and `_run` is the engine's hot path — closed-form
+    // `RunDescriptor` planning that expands a whole homogeneous stretch
+    // without re-entering the operator. The `_replay` → `_run` delta is the
+    // analytic-planning win in isolation; engine-level events/s
+    // (`BENCH_perf.json`) is the in-situ measure, where descriptor
+    // planning plus the calendar front buffer carry the PR's ≥1.5×
+    // fig3/fig8 win.
     let join_mid = || {
         let mut op = HashJoin::new(
             ExecConfig::default(),
@@ -191,6 +266,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("opstep/join_build_probe_step_1200x6000", |b| {
         b.iter(|| black_box(drain_steps(&mut join_mid())))
     });
+    c.bench_function("opstep/join_build_probe_replay_1200x6000", |b| {
+        b.iter(|| black_box(drain_step_replay(&mut join_mid())))
+    });
     c.bench_function("opstep/join_build_probe_run_1200x6000", |b| {
         b.iter(|| black_box(drain_runs(&mut join_mid())))
     });
@@ -202,6 +280,9 @@ fn bench(c: &mut Criterion) {
     };
     c.bench_function("opstep/sort_form_merge_step_1200_w100", |b| {
         b.iter(|| black_box(drain_steps(&mut sort_two_pass())))
+    });
+    c.bench_function("opstep/sort_form_merge_replay_1200_w100", |b| {
+        b.iter(|| black_box(drain_step_replay(&mut sort_two_pass())))
     });
     c.bench_function("opstep/sort_form_merge_run_1200_w100", |b| {
         b.iter(|| black_box(drain_runs(&mut sort_two_pass())))

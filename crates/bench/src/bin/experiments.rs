@@ -17,8 +17,11 @@
 //! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|faults|all>`
 //! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
 //! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
-//! `--out DIR` (default `.`), `--smoke` (1 seed, 300 sim-secs — the CI
-//! smoke configuration), `--record-arrivals` (write replication 0's
+//! `--out DIR` (default `.`), `--smoke` (defaults-only: the seed and
+//! sim-secs *defaults* become 1 and 300 — the CI smoke configuration —
+//! but an explicit `--seeds`/`--secs` still wins, so a long-horizon smoke
+//! like `--smoke --secs 36000` works), `--record-arrivals` (write
+//! replication 0's
 //! inter-arrival gaps per cell and class as `TRACE_<figure>_cell<i>_
 //! class<j>.txt`, replayable via `workload::Trace::from_file` /
 //! `ArrivalSpec::Trace`), `--record-pmm-decisions` (write replication 0's
@@ -28,7 +31,11 @@
 //! `TRACE_obs_<figure>_cell<i>.txt`, export cell 0 as Chrome trace-event
 //! JSON `CHROME_<figure>_cell0.json` for chrome://tracing / Perfetto, and
 //! write the seed-merged metrics registry as
-//! `BENCH_<figure>_metrics.json`), `--profile` (attribute wall-clock time
+//! `BENCH_<figure>_metrics.json`), `--metrics` (collect and write
+//! `BENCH_<figure>_metrics.json` *without* record-level tracing — the
+//! long-horizon configuration: registry memory stays O(counters) while
+//! `--trace` buffers or streams O(events); implied by `--trace`),
+//! `--profile` (attribute wall-clock time
 //! per engine subsystem and write `BENCH_profile.json` — machine-dependent,
 //! like `BENCH_perf.json`).
 //!
@@ -133,6 +140,7 @@ fn run_driver(args: &[String]) -> Result<(), String> {
             || a == "--record-arrivals"
             || a == "--record-pmm-decisions"
             || a == "--trace"
+            || a == "--metrics"
             || a == "--profile"
         {
             i += 1;
@@ -155,23 +163,19 @@ fn run_driver(args: &[String]) -> Result<(), String> {
         figures = FIGURES.iter().map(|f| (*f).to_string()).collect();
     }
 
+    // `--smoke` only moves the *defaults*: an explicit `--seeds`/`--secs`
+    // still wins, so a long-horizon smoke (`--smoke --secs 36000`) keeps the
+    // smoke posture without forfeiting the horizon.
     let smoke = args.iter().any(|a| a == "--smoke");
     let cfg = DriverConfig {
-        seeds: if smoke {
-            1
-        } else {
-            parse_flag(args, "--seeds", 8)?
-        },
+        seeds: parse_flag(args, "--seeds", if smoke { 1 } else { 8 })?,
         threads: parse_flag(args, "--threads", default_threads())?,
-        secs: if smoke {
-            300.0
-        } else {
-            parse_flag(args, "--secs", 3_600.0)?
-        },
+        secs: parse_flag(args, "--secs", if smoke { 300.0 } else { 3_600.0 })?,
         master_seed: parse_flag(args, "--master-seed", 1994)?,
         record_arrivals: args.iter().any(|a| a == "--record-arrivals"),
         record_pmm_decisions: args.iter().any(|a| a == "--record-pmm-decisions"),
         trace: args.iter().any(|a| a == "--trace"),
+        metrics: args.iter().any(|a| a == "--metrics"),
         profile: args.iter().any(|a| a == "--profile"),
         stream_dir: None,
     };

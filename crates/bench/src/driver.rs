@@ -253,6 +253,14 @@ pub struct DriverConfig {
     /// [`FigureResult::metrics`]. Metric-only: the merged
     /// `BENCH_<figure>.json` is unaffected.
     pub trace: bool,
+    /// Collect the metrics registry on every replication (`--metrics`)
+    /// *without* structured tracing: [`FigureResult::metrics`] is populated
+    /// exactly as under [`DriverConfig::trace`], but no replication buffers
+    /// (or streams) a record-level trace. This is the long-horizon
+    /// configuration — `BENCH_<figure>_metrics.json` over tens of thousands
+    /// of sim-seconds with O(registry) memory instead of O(events). Implied
+    /// by [`DriverConfig::trace`]; metric-only like it.
+    pub metrics: bool,
     /// Enable engine self-profiling (`--profile`): wall-clock attribution
     /// per subsystem, aggregated over all replications into
     /// [`FigureResult::profile`]. Machine-dependent — never byte-diffed.
@@ -277,6 +285,7 @@ impl Default for DriverConfig {
             record_arrivals: false,
             record_pmm_decisions: false,
             trace: false,
+            metrics: false,
             profile: false,
             stream_dir: None,
         }
@@ -607,7 +616,8 @@ pub struct FigureResult {
     /// [`DriverConfig::trace`] is set; kept out of the merged JSON).
     pub obs_traces: Vec<RecordedObsTrace>,
     /// Per-cell merged metrics registries (empty unless
-    /// [`DriverConfig::trace`] is set). Serialized by [`metrics_json`] —
+    /// [`DriverConfig::trace`] or [`DriverConfig::metrics`] is set).
+    /// Serialized by [`metrics_json`] —
     /// byte-identical across thread counts, like the figure JSON.
     pub metrics: Vec<CellMetrics>,
     /// Wall-clock self-profile aggregated over every replication of every
@@ -692,7 +702,7 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                 }
             }
         }
-        sim.obs.metrics = cfg.trace;
+        sim.obs.metrics = cfg.trace || cfg.metrics;
         sim.obs.profile = cfg.profile;
         // Device-sweep cells fold a device × eviction choice into the
         // policy name, fault-sweep cells a degradation mode; all other
@@ -818,19 +828,19 @@ pub fn run_figure(figure: &str, cfg: DriverConfig) -> Result<FigureResult, Strin
                     });
                 }
             }
-            if cfg.trace {
+            if cfg.trace && !streaming {
                 // Streamed cells wrote their trace bytes to disk as the run
                 // progressed; there is no in-memory copy to carry here.
-                if !streaming {
-                    if let Some(first) = reports.first() {
-                        obs_traces.push(RecordedObsTrace {
-                            cell: c,
-                            x: cell.x,
-                            policy: cell.policy.clone(),
-                            records: first.obs_trace.clone(),
-                        });
-                    }
+                if let Some(first) = reports.first() {
+                    obs_traces.push(RecordedObsTrace {
+                        cell: c,
+                        x: cell.x,
+                        policy: cell.policy.clone(),
+                        records: first.obs_trace.clone(),
+                    });
                 }
+            }
+            if cfg.trace || cfg.metrics {
                 let per_seed: Vec<&obs::MetricsReport> =
                     reports.iter().filter_map(|r| r.metrics.as_ref()).collect();
                 metrics.push(CellMetrics {
@@ -1496,6 +1506,49 @@ mod tests {
         assert!(pjson.contains("\"kind\": \"profile\""));
         assert!(pjson.contains("\"name\":\"dispatch\""));
         assert_eq!(pjson.matches('{').count(), pjson.matches('}').count());
+    }
+
+    #[test]
+    fn metrics_flag_collects_registries_without_tracing() {
+        // The long-horizon configuration: `--metrics` alone produces the
+        // same merged registries `--trace` would, with no record-level
+        // trace buffered anywhere.
+        assert!(!DriverConfig::default().metrics);
+        let cfg = DriverConfig {
+            seeds: 2,
+            threads: 1,
+            secs: 300.0,
+            master_seed: 1994,
+            metrics: true,
+            ..DriverConfig::default()
+        };
+        let r = run_figure("fig12", cfg.clone()).expect("fig12 runs");
+        assert!(r.obs_traces.is_empty(), "no trace is recorded");
+        assert_eq!(r.metrics.len(), 3, "one merged registry per cell");
+        assert!(metrics_json(&r).contains("\"engine.arrivals\""));
+        // The registries are byte-identical to a traced run's: tracing is
+        // observation, not perturbation.
+        let traced = run_figure(
+            "fig12",
+            DriverConfig {
+                trace: true,
+                ..cfg.clone()
+            },
+        )
+        .expect("traced rerun");
+        assert_eq!(metrics_json(&r), metrics_json(&traced));
+        // Metric-only, like every other observability knob: the merged
+        // figure JSON is unaffected.
+        let plain = run_figure(
+            "fig12",
+            DriverConfig {
+                metrics: false,
+                ..cfg
+            },
+        )
+        .expect("plain rerun");
+        assert!(plain.metrics.is_empty());
+        assert_eq!(plain.to_json(), r.to_json());
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::op::{
     blocks_for, cost, Action, ActionRun, ExecConfig, FileRef, IoRequest, Operator,
-    RUN_BATCH,
+    RunDescriptor, RUN_BATCH,
 };
 use storage::{FileId, IoKind};
 
@@ -327,6 +327,168 @@ impl HashJoin {
         }
         None
     }
+
+    /// Single-step once into `run`; false ends the batch (decision boundary).
+    fn push_step(&mut self, run: &mut ActionRun) -> bool {
+        let action = self.step();
+        run.push(action);
+        !matches!(action, Action::Parked | Action::Finished)
+    }
+
+    /// Plan the build (`build = true`) or probe scan. Fully expanded
+    /// operators scan without spooling, so whole stretches collapse into a
+    /// [`RunDescriptor`]; with contraction the spill accumulator is walked
+    /// block by block in exactly the reference association order, keeping
+    /// the `spill_accum` f64 trajectory bit-identical.
+    fn plan_scan(&mut self, run: &mut ActionRun, build: bool) {
+        debug_assert_eq!(self.pending_cpu, 0);
+        let block = self.cfg.block_pages;
+        let (total, file) = if build {
+            (self.r_pages, FileRef::Base(self.r_file))
+        } else {
+            (self.s_pages, FileRef::Base(self.s_file))
+        };
+        let scanning = if build {
+            State::BuildScan
+        } else {
+            State::ProbeScan
+        };
+        let per_block_cpu = if build {
+            block as u64 * self.cfg.tuples_per_page as u64 * cost::HASH_INSERT
+        } else {
+            self.probe_cpu_block
+        };
+        while run.len() < RUN_BATCH && self.state == scanning {
+            if self.frac_con == 0.0 && self.spill_accum < 1.0 {
+                // Nothing spools: the rest of the scan is homogeneous. The
+                // reference still adds `pages · 0.0` to the accumulator per
+                // block, which cannot change its value, so eliding the adds
+                // preserves the trajectory.
+                let pairs = ((RUN_BATCH - run.len()) / 2) as u32;
+                let count = ((total - self.scan_pos) / block).min(pairs);
+                if count > 0 {
+                    RunDescriptor {
+                        count,
+                        cpu: per_block_cpu + cost::START_IO,
+                        io: IoRequest {
+                            file,
+                            first_page: self.scan_pos,
+                            pages: block,
+                            kind: IoKind::Read,
+                            prefetch: true,
+                        },
+                        stride: block,
+                    }
+                    .expand(run);
+                    self.scan_pos += count * block;
+                    continue;
+                }
+            }
+            if self.spill_accum >= block as f64 {
+                let pages = block;
+                self.spill_accum -= pages as f64;
+                if build {
+                    self.spilled_r += pages as f64;
+                } else {
+                    self.spilled_s += pages as f64;
+                }
+                let write = self.spill_write(pages);
+                run.push(write);
+            } else if self.scan_pos >= total {
+                self.state = if build {
+                    State::BuildFlush
+                } else {
+                    State::ProbeFlush
+                };
+                return;
+            } else {
+                let pages = block.min(total - self.scan_pos);
+                let first = self.scan_pos;
+                self.scan_pos += pages;
+                let cpu = if build {
+                    pages as u64 * self.cfg.tuples_per_page as u64 * cost::HASH_INSERT
+                } else if pages == block {
+                    self.probe_cpu_block
+                } else {
+                    self.probe_cpu_for(pages)
+                };
+                self.pending_cpu += cpu + cost::START_IO;
+                self.spill_accum += pages as f64 * self.frac_con;
+                run.push(Action::Io(IoRequest {
+                    file,
+                    first_page: first,
+                    pages,
+                    kind: IoKind::Read,
+                    prefetch: true,
+                }));
+            }
+            // The single-step protocol drains the owed CPU as the next
+            // action after each I/O; a full batch leaves it owed for the
+            // next plan, exactly like a batch boundary mid-pair.
+            if run.len() < RUN_BATCH {
+                run.push(Action::Cpu(std::mem::take(&mut self.pending_cpu)));
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Plan the second pass: re-read spilled R (build) or S (probe) pages.
+    /// The loop mirrors the reference arithmetic on the spilled-page f64
+    /// totals but emits straight into the run, one I/O + CPU pair per
+    /// block, without per-action re-entry.
+    fn plan_second(&mut self, run: &mut ActionRun, build: bool) {
+        debug_assert_eq!(self.pending_cpu, 0);
+        let reading = if build {
+            State::SecondBuild
+        } else {
+            State::SecondProbe
+        };
+        let per_tuple = if build {
+            cost::HASH_INSERT
+        } else {
+            cost::HASH_PROBE + cost::HASH_COPY
+        };
+        while run.len() < RUN_BATCH && self.state == reading {
+            let remaining = if build {
+                self.spilled_r
+            } else {
+                self.spilled_s
+            };
+            if remaining < 1.0 {
+                if build {
+                    self.spilled_r = 0.0;
+                    self.state = State::SecondProbe;
+                } else {
+                    self.spilled_s = 0.0;
+                    self.state = State::Terminate;
+                }
+                return;
+            }
+            let pages = (remaining.floor() as u32).min(self.cfg.block_pages).max(1);
+            if build {
+                self.spilled_r = (self.spilled_r - pages as f64).max(0.0);
+            } else {
+                self.spilled_s = (self.spilled_s - pages as f64).max(0.0);
+            }
+            let first = (self.second_read as u32) % self.spill_capacity();
+            self.second_read += pages as f64;
+            let tuples = pages as u64 * self.cfg.tuples_per_page as u64;
+            self.pending_cpu += tuples * per_tuple + cost::START_IO;
+            run.push(Action::Io(IoRequest {
+                file: FileRef::Temp(SPILL_SLOT),
+                first_page: first,
+                pages,
+                kind: IoKind::Read,
+                prefetch: true,
+            }));
+            if run.len() < RUN_BATCH {
+                run.push(Action::Cpu(std::mem::take(&mut self.pending_cpu)));
+            } else {
+                return;
+            }
+        }
+    }
 }
 
 impl Operator for HashJoin {
@@ -382,14 +544,38 @@ impl Operator for HashJoin {
         self.refresh_cost_caches();
     }
 
+    /// Closed-form planning: the scan and second-pass phases expand whole
+    /// homogeneous stretches into the run — per-phase descriptors and tight
+    /// accumulator loops instead of one state-machine re-entry per action.
+    /// Boundary states (init, flushes, owed work, termination) still go
+    /// through [`HashJoin::step`], which remains the reference semantics;
+    /// `tests/run_protocol_model.rs` pins the two paths action-for-action.
     fn plan_run(&mut self, run: &mut ActionRun) {
         self.saved = Some(self.snapshot());
         run.clear();
-        for _ in 0..RUN_BATCH {
-            let action = self.step();
-            run.push(action);
-            if matches!(action, Action::Parked | Action::Finished) {
-                break;
+        while run.len() < RUN_BATCH {
+            // Owed CPU / contraction spools / expansion reads and the short
+            // boundary states take the single-step path.
+            if self.pending_cpu > 0
+                || self.pending_contract >= 1.0
+                || self.pending_expand_read >= 1.0
+                || self.alloc == 0
+            {
+                if !self.push_step(run) {
+                    return;
+                }
+                continue;
+            }
+            match self.state {
+                State::BuildScan => self.plan_scan(run, true),
+                State::ProbeScan => self.plan_scan(run, false),
+                State::SecondBuild => self.plan_second(run, true),
+                State::SecondProbe => self.plan_second(run, false),
+                _ => {
+                    if !self.push_step(run) {
+                        return;
+                    }
+                }
             }
         }
     }

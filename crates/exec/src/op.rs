@@ -146,6 +146,44 @@ pub enum Action {
 /// change interrupts a partially consumed run.
 pub const RUN_BATCH: usize = 64;
 
+/// A closed-form run descriptor: `count` repetitions of an identical
+/// I/O-then-CPU action pair over a sequential page range. This is the unit
+/// the operators' `plan_run` implementations reason in for their
+/// homogeneous phases (build/probe scans without spooling, in-memory
+/// scans): the whole stretch is described by per-action cost and shape and
+/// expanded into the [`ActionRun`] without re-entering the operator state
+/// machine per action.
+///
+/// The CPU burst follows its I/O because that is the single-step
+/// protocol's order: a scan step issues the read and *owes* the CPU, which
+/// the next step drains. Expansion preserves that order exactly, so the
+/// action stream is indistinguishable from per-step planning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunDescriptor {
+    /// Number of action pairs.
+    pub count: u32,
+    /// CPU instructions owed after each I/O (includes the start-I/O cost).
+    pub cpu: u64,
+    /// First I/O of the stretch; subsequent ones advance `first_page` by
+    /// `stride`.
+    pub io: IoRequest,
+    /// Page advance between consecutive I/Os.
+    pub stride: u32,
+}
+
+impl RunDescriptor {
+    /// Expand into `run`: `count` repetitions of the I/O (advancing
+    /// `first_page` by `stride`), each followed by its owed CPU burst.
+    pub fn expand(&self, run: &mut ActionRun) {
+        let mut io = self.io;
+        for _ in 0..self.count {
+            run.push(Action::Io(io));
+            run.push(Action::Cpu(self.cpu));
+            io.first_page += self.stride;
+        }
+    }
+}
+
 /// A planned run of operator actions plus a consumption cursor.
 ///
 /// The engine pops actions with [`ActionRun::pop`]; the cursor records how

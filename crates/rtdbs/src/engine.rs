@@ -45,7 +45,6 @@ use simkit::calendar::EventHandle;
 use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
 use simkit::{Calendar, Duration, Rng, SeedSequence, SimTime};
 use stats::SampleSummary;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use storage::{
     Access, DiskFarm, FileId, FileMeta, IoKind, Layout, RelationMeta, Service,
@@ -490,7 +489,7 @@ pub struct Simulator {
     rng_arrival: Vec<Rng>,
     rng_pick: Vec<Rng>,
     rng_slack: Vec<Rng>,
-    standalone_cache: HashMap<(FileId, Option<FileId>), Duration>,
+    standalone_cache: storage::FastMap<(FileId, Option<FileId>), Duration>,
     // Run-level metrics.
     served: u64,
     missed: u64,
@@ -654,7 +653,7 @@ impl Simulator {
             rng_slack: (0..n_classes)
                 .map(|i| seeds.substream("slack", i as u64))
                 .collect(),
-            standalone_cache: HashMap::new(),
+            standalone_cache: storage::FastMap::default(),
             served: 0,
             missed: 0,
             class_outcomes: cfg
@@ -1076,15 +1075,24 @@ impl Simulator {
         let Some(slot) = self.live.slot_of(id) else {
             return;
         };
+        let fastforward = self.cfg.fastforward;
         for _ in 0..10_000_000u64 {
             let q = self.live.slot_mut(slot);
-            let action = match q.run.pop() {
-                Some(a) => a,
-                None => {
-                    let LiveQuery { op, run, .. } = q;
-                    op.plan_run(run);
-                    run.pop().expect("planned run is never empty")
+            let action = if fastforward {
+                match q.run.pop() {
+                    Some(a) => a,
+                    None => {
+                        let LiveQuery { op, run, .. } = q;
+                        op.plan_run(run);
+                        run.pop().expect("planned run is never empty")
+                    }
                 }
+            } else {
+                // Per-event reference path: one state-machine step per
+                // action, no run buffer (so `apply_grant` never needs a
+                // sync). The differential harness drives both paths and
+                // asserts bit-identical traces.
+                q.op.step()
             };
             match action {
                 Action::Cpu(instr) => {

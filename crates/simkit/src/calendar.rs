@@ -19,6 +19,13 @@
 //! * **8-ary layout.** Sift-down visits a third of the levels of a binary heap
 //!   with better cache locality; keys are compact `(u64, u64, u32)` triples
 //!   stored inline, payloads stay put in the slab.
+//! * **Front-buffer fast path.** The dominant simulator pattern is
+//!   schedule-then-pop-min: a handler schedules the next completion, which
+//!   immediately pops as the global minimum. An event strictly earlier than
+//!   every queued entry bypasses the heap into a one-element front buffer;
+//!   the subsequent pop takes it with no sift at all. Strictly-earlier is
+//!   the only safe admission test — `seq` grows monotonically, so a
+//!   same-time event must sit behind existing entries to keep FIFO ties.
 
 use crate::time::SimTime;
 
@@ -60,6 +67,11 @@ struct Slot<E> {
 /// them.
 pub struct Calendar<E> {
     heap: Vec<HeapEntry>,
+    /// Fast-path buffer: when `Some`, this entry's key is strictly smaller
+    /// than every key in `heap`, so it is the next entry to surface. Its
+    /// payload lives in `slots` like any other event (cancellation works
+    /// unchanged); only the heap position is elided.
+    front: Option<HeapEntry>,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     next_seq: u64,
@@ -79,6 +91,7 @@ impl<E> Calendar<E> {
     pub fn new() -> Self {
         Calendar {
             heap: Vec::new(),
+            front: None,
             slots: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
@@ -128,8 +141,36 @@ impl<E> Calendar<E> {
                 slot
             }
         };
-        self.heap.push(HeapEntry { at, seq, slot });
-        self.sift_up(self.heap.len() - 1);
+        let entry = HeapEntry { at, seq, slot };
+        match self.front {
+            // Strictly earlier than the buffered minimum: the new event
+            // becomes the front and the old front rejoins the heap (it is
+            // still smaller than everything there, so the invariant holds).
+            Some(front) if entry.key() < front.key() => {
+                self.front = Some(entry);
+                self.heap.push(front);
+                self.sift_up(self.heap.len() - 1);
+            }
+            Some(_) => {
+                self.heap.push(entry);
+                self.sift_up(self.heap.len() - 1);
+            }
+            // No front yet: admit the new event if it precedes the whole
+            // heap (cancelled entries only over-approximate the minimum,
+            // which keeps the test conservative and correct).
+            None => {
+                if self
+                    .heap
+                    .first()
+                    .is_none_or(|root| entry.key() < root.key())
+                {
+                    self.front = Some(entry);
+                } else {
+                    self.heap.push(entry);
+                    self.sift_up(self.heap.len() - 1);
+                }
+            }
+        }
         self.live += 1;
         EventHandle {
             slot,
@@ -153,7 +194,10 @@ impl<E> Calendar<E> {
     /// Returns `None` when the calendar is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            let entry = self.pop_root()?;
+            let entry = match self.front.take() {
+                Some(front) => front,
+                None => self.pop_root()?,
+            };
             let (payload, was_cancelled) = self.vacate(entry.slot);
             if was_cancelled {
                 continue;
@@ -168,6 +212,16 @@ impl<E> Calendar<E> {
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        if let Some(front) = self.front {
+            if !self.slots[front.slot as usize].cancelled {
+                return Some(front.at);
+            }
+            // Vacate the cancelled front eagerly: its slot returns to the
+            // free list so a later `schedule` can reuse it, and the stale
+            // entry can never shadow that new occupant.
+            self.front = None;
+            self.vacate(front.slot);
+        }
         loop {
             let root = *self.heap.first()?;
             if self.slots[root.slot as usize].cancelled {
@@ -379,6 +433,63 @@ mod tests {
         assert_eq!(cal.pop().map(|(_, e)| e), Some(3));
         assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
         assert_eq!(cal.events_dispatched(), 3);
+    }
+
+    #[test]
+    fn front_fast_path_preserves_fifo_ties() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(10), 0u32); // buffered front
+        cal.schedule(SimTime(10), 1u32); // tie: must queue behind, not displace
+        cal.schedule(SimTime(5), 2u32); // strictly earlier: displaces front
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(0));
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(1));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_pop_chain_never_touches_heap() {
+        // The pattern the fast path exists for: each handler schedules the
+        // next minimum, which pops immediately.
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(1_000_000), "horizon");
+        for i in 1..=100u64 {
+            cal.schedule(SimTime(i), "step");
+            assert_eq!(cal.pop(), Some((SimTime(i), "step")));
+        }
+        assert_eq!(cal.heap.len(), 1, "the chain must bypass the heap");
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("horizon"));
+    }
+
+    #[test]
+    fn cancelled_front_slot_reuse_is_not_shadowed() {
+        // Cancel the buffered minimum, peek (which vacates it and frees the
+        // slot), then schedule into the freed slot: the fast path must
+        // surface the new occupant, and the stale handle must stay inert.
+        let mut cal = Calendar::new();
+        let h_min = cal.schedule(SimTime(1), "min");
+        cal.schedule(SimTime(9), "later");
+        cal.cancel(h_min);
+        assert_eq!(cal.peek_time(), Some(SimTime(9)));
+        assert_eq!(cal.len(), 1);
+        cal.schedule(SimTime(3), "reused"); // reoccupies the vacated slot
+        assert_eq!(cal.peek_time(), Some(SimTime(3)));
+        cal.cancel(h_min); // stale generation: no-op
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("reused"));
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("later"));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancelled_front_is_skipped_by_pop() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(SimTime(2), "front");
+        cal.schedule(SimTime(4), "heap");
+        cal.cancel(h);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("heap"));
+        assert!(cal.pop().is_none());
+        assert_eq!(cal.len(), 0);
     }
 
     #[test]

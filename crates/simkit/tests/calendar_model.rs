@@ -55,6 +55,35 @@ impl ModelCalendar {
     }
 }
 
+/// Regression for the front-buffer fast path: cancelling the minimum and
+/// then scheduling into its freed slot must surface the new occupant — the
+/// stale front entry must neither shadow it in `peek_time` nor let the old
+/// handle cancel it.
+#[test]
+fn cancel_min_then_reuse_slot_keeps_peek_fresh() {
+    let mut cal: Calendar<&str> = Calendar::new();
+    let h_min = cal.schedule(SimTime(10), "min");
+    cal.schedule(SimTime(50), "later");
+    cal.cancel(h_min);
+    // The peek drops the cancelled minimum and frees its slot.
+    assert_eq!(cal.peek_time(), Some(SimTime(50)));
+    assert_eq!(cal.len(), 1);
+    // This reuses the freed slot and becomes the new minimum.
+    let h_new = cal.schedule(SimTime(20), "reused");
+    assert_eq!(cal.peek_time(), Some(SimTime(20)));
+    // The stale handle aliases the slot but not the generation: a cancel
+    // through it must not touch the new occupant.
+    cal.cancel(h_min);
+    assert_eq!(cal.len(), 2);
+    assert_eq!(cal.peek_time(), Some(SimTime(20)));
+    assert_eq!(cal.pop(), Some((SimTime(20), "reused")));
+    assert_eq!(cal.pop(), Some((SimTime(50), "later")));
+    assert_eq!(cal.pop(), None);
+    // And the fresh handle is stale now too.
+    cal.cancel(h_new);
+    assert_eq!(cal.len(), 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -190,13 +190,19 @@ impl Disk {
         &*self.model
     }
 
-    /// Queue an access with ED priority `deadline`.
+    /// Queue an access with ED priority `deadline`. The current head
+    /// position is passed down so the queue maintains its pop winner
+    /// incrementally: the head only moves when a media access starts, so
+    /// everything queued since then folds into an O(1) pick.
     pub fn enqueue(&mut self, deadline: SimTime, access: Access) {
-        self.queue.push(QueuedRequest {
-            deadline,
-            cylinder: access.cylinder,
-            tag: access,
-        });
+        self.queue.push_at(
+            self.model.position(),
+            QueuedRequest {
+                deadline,
+                cylinder: access.cylinder,
+                tag: access,
+            },
+        );
     }
 
     /// True if the disk is currently servicing a request.

@@ -7,8 +7,8 @@
 //! outer thirds.
 
 use crate::geometry::DiskGeometry;
+use crate::pool::FastMap;
 use simkit::Rng;
-use std::collections::HashMap;
 
 /// Identifies one disk in the farm.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -83,9 +83,9 @@ impl RelationGroupSpec {
 pub struct Layout {
     geometry: DiskGeometry,
     num_disks: u32,
-    files: HashMap<FileId, FileMeta>,
+    files: FastMap<FileId, FileMeta>,
     relations: Vec<RelationMeta>,
-    by_group: HashMap<u32, Vec<usize>>,
+    by_group: FastMap<u32, Vec<usize>>,
     next_temp: u64,
     temp_toggle: bool,
     next_temp_disk: u32,
@@ -108,9 +108,9 @@ impl Layout {
         let mut layout = Layout {
             geometry,
             num_disks,
-            files: HashMap::new(),
+            files: FastMap::default(),
             relations: Vec::new(),
-            by_group: HashMap::new(),
+            by_group: FastMap::default(),
             next_temp: 0,
             temp_toggle: false,
             next_temp_disk: 0,

@@ -50,8 +50,47 @@ struct Key {
     seq: u64,
 }
 
+/// Total selection order of one request under a fixed head position and
+/// sweep direction: `(deadline, off-preferred-side, distance, seq)`. The
+/// argmin of this rank over all queued keys is exactly the request the
+/// [`DiskQueue::pop`] scan chooses — ED level first, then the preferred
+/// sweep side, then nearest cylinder, then FIFO — and an argmin with the
+/// penalty bit set means the preferred side was empty, i.e. the sweep
+/// reverses.
+type Rank = (SimTime, u8, u32, u64);
+
+fn rank_of(key: &Key, head: u32, ascending: bool) -> Rank {
+    let (penalty, dist) = match key.cylinder.cmp(&head) {
+        // On the head's cylinder: reachable without a seek in either
+        // direction, so it is never off-side.
+        std::cmp::Ordering::Equal => (0, 0),
+        std::cmp::Ordering::Greater => (u8::from(!ascending), key.cylinder - head),
+        std::cmp::Ordering::Less => (u8::from(ascending), head - key.cylinder),
+    };
+    (key.deadline, penalty, dist, key.seq)
+}
+
+/// The incrementally maintained winner of the next [`DiskQueue::pop`],
+/// valid only for the exact `(head, ascending)` it was computed under.
+#[derive(Clone, Copy, Debug)]
+struct Cached {
+    head: u32,
+    ascending: bool,
+    idx: usize,
+    rank: Rank,
+}
+
 /// ED + elevator queue for one disk. `keys[i]` and `reqs[i]` describe the
 /// same request; both sides `swap_remove` together.
+///
+/// When the caller can name the disk-head position at enqueue time
+/// ([`DiskQueue::push_at`]), the queue folds each new request into a cached
+/// winner in O(1); a later `pop` from the same head position takes the
+/// winner without rescanning. The head only moves when a media access
+/// starts, so the common busy-disk pattern — requests arriving during a
+/// service, then one pop at its completion — never rescans at all. Any
+/// removal or head movement falls back to the scan (and the scan is what
+/// the cache is checked against in debug builds).
 #[derive(Debug)]
 pub struct DiskQueue<T> {
     keys: Vec<Key>,
@@ -59,6 +98,7 @@ pub struct DiskQueue<T> {
     next_seq: u64,
     /// Elevator sweep direction: true = ascending cylinder numbers.
     ascending: bool,
+    cached: Option<Cached>,
 }
 
 impl<T> Default for DiskQueue<T> {
@@ -75,6 +115,7 @@ impl<T> DiskQueue<T> {
             reqs: Vec::new(),
             next_seq: 0,
             ascending: true,
+            cached: None,
         }
     }
 
@@ -88,8 +129,47 @@ impl<T> DiskQueue<T> {
         self.reqs.is_empty()
     }
 
-    /// Enqueue a request.
+    /// Enqueue a request without a head hint. The cached winner (if any)
+    /// cannot be maintained and is dropped; the next pop rescans.
     pub fn push(&mut self, request: QueuedRequest<T>) {
+        self.cached = None;
+        self.append(request);
+    }
+
+    /// Enqueue a request, folding it into the cached pop winner for the
+    /// given head position. O(1); a subsequent [`DiskQueue::pop`] from the
+    /// same head with the same sweep direction skips its scan.
+    pub fn push_at(&mut self, head: u32, request: QueuedRequest<T>) {
+        let idx = self.keys.len();
+        let key = Key {
+            deadline: request.deadline,
+            cylinder: request.cylinder,
+            seq: self.next_seq,
+        };
+        match &mut self.cached {
+            _ if idx == 0 => {
+                self.cached = Some(Cached {
+                    head,
+                    ascending: self.ascending,
+                    idx,
+                    rank: rank_of(&key, head, self.ascending),
+                });
+            }
+            Some(c) if c.head == head && c.ascending == self.ascending => {
+                let rank = rank_of(&key, head, self.ascending);
+                if rank < c.rank {
+                    c.idx = idx;
+                    c.rank = rank;
+                }
+            }
+            // Either no winner survives from before, or the head moved
+            // between pushes: fall back to the scan at the next pop.
+            _ => self.cached = None,
+        }
+        self.append(request);
+    }
+
+    fn append(&mut self, request: QueuedRequest<T>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.keys.push(Key {
@@ -108,8 +188,36 @@ impl<T> DiskQueue<T> {
     /// the deadline level and both sweep candidates simultaneously.
     pub fn pop(&mut self, head: u32) -> Option<QueuedRequest<T>> {
         if self.keys.is_empty() {
+            self.cached = None;
             return None;
         }
+        let (chosen, reverse) = match self.cached.take() {
+            Some(c) if c.head == head && c.ascending == self.ascending => {
+                debug_assert_eq!(
+                    self.keys[c.idx].seq,
+                    self.keys[self.scan_pick(head).0].seq,
+                    "cached winner diverged from the scan"
+                );
+                // A winner off the preferred side means that side is empty
+                // at the most urgent level: the sweep reverses, exactly as
+                // the scan would have.
+                (c.idx, c.rank.1 == 1)
+            }
+            _ => self.scan_pick(head),
+        };
+        if reverse {
+            self.ascending = !self.ascending;
+        }
+        self.keys.swap_remove(chosen);
+        Some(self.reqs.swap_remove(chosen))
+    }
+
+    /// One scan over the dense key array selecting the next request:
+    /// returns its index and whether the sweep direction must reverse.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty.
+    fn scan_pick(&self, head: u32) -> (usize, bool) {
         // Per sweep direction: (distance from head, seq, index) — minimized.
         let mut up: Option<(u32, u64, usize)> = None;
         let mut down: Option<(u32, u64, usize)> = None;
@@ -143,23 +251,22 @@ impl<T> DiskQueue<T> {
         } else {
             (down, up)
         };
-        let chosen = match first {
-            Some((_, _, i)) => i,
-            None => {
-                // Sweep exhausted within the level: reverse direction.
-                self.ascending = !self.ascending;
+        match first {
+            Some((_, _, i)) => (i, false),
+            // Sweep exhausted within the level: reverse direction.
+            None => (
                 second
                     .expect("non-empty level has a cylinder on one side")
-                    .2
-            }
-        };
-        self.keys.swap_remove(chosen);
-        Some(self.reqs.swap_remove(chosen))
+                    .2,
+                true,
+            ),
+        }
     }
 
     /// Remove every request whose tag matches `remove` (e.g. requests of an
     /// aborted query). Returns the removed requests.
     pub fn drain_where<F: Fn(&T) -> bool>(&mut self, remove: F) -> Vec<QueuedRequest<T>> {
+        self.cached = None;
         let mut removed = Vec::new();
         let mut i = 0;
         while i < self.reqs.len() {
@@ -176,6 +283,7 @@ impl<T> DiskQueue<T> {
     /// Like [`DiskQueue::drain_where`], but only counts the removals —
     /// allocation-free, for the firm-abort path that never inspects them.
     pub fn discard_where<F: Fn(&T) -> bool>(&mut self, remove: F) -> usize {
+        self.cached = None;
         let before = self.reqs.len();
         let mut i = 0;
         while i < self.reqs.len() {
@@ -293,6 +401,57 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(0).unwrap().tag, 8);
         assert_eq!(q.discard_where(|_| true), 0);
+    }
+
+    #[test]
+    fn push_at_cached_winner_reverses_sweep() {
+        let mut q = DiskQueue::new();
+        q.push_at(500, req(50, 400, 1)); // below an up-sweeping head
+        assert_eq!(q.pop(500).unwrap().tag, 1);
+        // The cached-winner pop must have reversed the sweep, exactly like
+        // the scan: a later same-deadline pair prefers the downward side.
+        q.push_at(400, req(50, 450, 2));
+        q.push_at(400, req(50, 350, 3));
+        assert_eq!(q.pop(400).unwrap().tag, 3, "descending after reversal");
+        assert_eq!(q.pop(350).unwrap().tag, 2);
+    }
+
+    #[test]
+    fn push_at_agrees_with_push_under_random_mix() {
+        // One queue fed through push_at (incremental winner), a twin through
+        // plain push (always scans); identical operation tapes must produce
+        // identical pop sequences. In debug builds the cache-hit path also
+        // self-checks against the scan.
+        let mut fast = DiskQueue::new();
+        let mut slow = DiskQueue::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut head = 300u32;
+        for tag in 0..2_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let deadline = 10 + x % 8; // few levels: big elevator groups
+            let cyl = (x >> 16) as u32 % 1_000;
+            fast.push_at(head, req(deadline, cyl, tag));
+            slow.push(req(deadline, cyl, tag));
+            if x.is_multiple_of(3) {
+                let a = fast.pop(head);
+                let b = slow.pop(head);
+                assert_eq!(a, b, "divergence at tag {tag}");
+                if let Some(r) = a {
+                    head = r.cylinder;
+                }
+            }
+        }
+        loop {
+            let a = fast.pop(head);
+            let b = slow.pop(head);
+            assert_eq!(a, b);
+            match a {
+                Some(r) => head = r.cylinder,
+                None => break,
+            }
+        }
     }
 
     #[test]

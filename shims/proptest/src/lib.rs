@@ -11,10 +11,20 @@
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Value generation is deterministic: each test function seeds its generator
-//! from its own name, so a failure always reproduces. There is no shrinking —
-//! the failing inputs are printed (via the panic message) as-is.
+//! from its own name, so a failure always reproduces.
+//!
+//! **Shrinking** is the basic greedy kind: when a case fails, the harness
+//! asks the strategy for simpler candidates ([`Strategy::shrink`]) — halving
+//! integers and floats toward the range start, truncating vectors, turning
+//! `Some` into `None`, shrinking tuple components one at a time — and
+//! repeatedly adopts any candidate that still fails, up to a fixed attempt
+//! budget. The minimized input is printed before the final (loud) re-run.
+//! Mapped strategies ([`Strategy::prop_map`]) and hash sets do not shrink:
+//! there is no inverse through an arbitrary closure, and sets rarely
+//! benefit; their failures reproduce as-is.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Deterministic generator (SplitMix64) used to produce test inputs.
 #[derive(Clone, Debug)]
@@ -59,6 +69,15 @@ pub trait Strategy {
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Propose strictly simpler variants of a failing `value`, most
+    /// aggressive first. The default proposes nothing, which disables
+    /// shrinking for the strategy (correct for mapped strategies, where the
+    /// source value is gone).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transform generated values with `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -93,6 +112,20 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value as i128, self.start as i128);
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Range start first (simplest), then halfway back toward it.
+                let half = (v - (v - lo) / 2) as $t;
+                let mut out = vec![self.start];
+                if half != *value && half != self.start {
+                    out.push(half);
+                }
+                out
+            }
         }
     )*};
 }
@@ -106,15 +139,43 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.next_f64()
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if *value <= self.start || value.is_nan() {
+            return Vec::new();
+        }
+        let half = value - (value - self.start) / 2.0;
+        let mut out = vec![self.start];
+        if half.is_finite() && half != *value && half != self.start {
+            out.push(half);
+        }
+        out
+    }
 }
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -194,16 +255,41 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Truncations first (they remove the most structure), never
+            // below the size floor; then element-wise shrinks.
+            for n in [self.size.lo, value.len() / 2, value.len().saturating_sub(1)] {
+                if n >= self.size.lo && n < value.len() {
+                    out.push(value[..n].to_vec());
+                }
+            }
+            out.dedup_by_key(|v| v.len());
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 
-    /// Strategy returned by [`hash_set`].
+    /// Strategy returned by [`hash_set`]. Does not shrink: distinctness
+    /// constraints make truncation-based shrinking more confusing than
+    /// helpful at this size.
     #[derive(Clone, Debug)]
     pub struct HashSetStrategy<S> {
         element: S,
@@ -256,6 +342,15 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
+            }
+        }
     }
 }
 
@@ -277,6 +372,71 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+}
+
+/// Upper bound on shrink attempts per failing case. Greedy descent with
+/// halving candidates converges in a few dozen steps; the cap only guards
+/// against pathological strategies.
+const SHRINK_BUDGET: u32 = 512;
+
+/// Run `cases` deterministic inputs of `strat` through `run`, shrinking the
+/// first failure to a (locally) minimal one before re-raising it. This is
+/// the engine behind [`proptest!`]; tests normally use the macro.
+///
+/// # Panics
+/// Panics (with the body's own assertion message) on the minimized failing
+/// input, after printing that input.
+pub fn check<S: Strategy>(cases: u32, name: &str, strat: S, run: impl Fn(S::Value))
+where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = TestRng::from_name(name);
+    for _ in 0..cases {
+        let input = strat.generate(&mut rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(input.clone())));
+        if outcome.is_ok() {
+            continue;
+        }
+        let minimized = shrink_failure(&strat, input, &run);
+        eprintln!("proptest shim: minimized failing input for `{name}`:\n{minimized:#?}");
+        run(minimized);
+        // A deterministic body fails again on the line above; reaching here
+        // means the failure did not reproduce.
+        panic!("proptest shim: `{name}` failed once but passed on re-run (nondeterministic body?)");
+    }
+}
+
+/// Greedy shrink: repeatedly adopt the first simpler candidate that still
+/// fails, until no candidate fails or the budget runs out.
+fn shrink_failure<S: Strategy>(
+    strat: &S,
+    mut failing: S::Value,
+    run: &impl Fn(S::Value),
+) -> S::Value
+where
+    S::Value: Clone,
+{
+    // Shrink attempts re-run the body expecting panics; silence the global
+    // hook so they don't spam the test output, and restore it after.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in strat.shrink(&failing) {
+            budget -= 1;
+            let passes = catch_unwind(AssertUnwindSafe(|| run(cand.clone()))).is_ok();
+            if !passes {
+                failing = cand;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(hook);
+    failing
 }
 
 /// Everything a property-test file needs in scope.
@@ -318,7 +478,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// Define property tests: each `fn name(pat in strategy, ...) { body }` item
-/// becomes a `#[test]` running `cases` deterministic generated inputs.
+/// becomes a `#[test]` running `cases` deterministic generated inputs, with
+/// greedy shrinking on failure (see [`check`]).
 #[macro_export]
 macro_rules! proptest {
     ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
@@ -332,15 +493,99 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::from_name(stringify!($name));
-                for _ in 0..cfg.cases {
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                $crate::check(cfg.cases, stringify!($name), ($(($strat),)*), |__case| {
+                    let ($($pat,)*) = __case;
                     $body
-                }
+                });
             }
         )*
     };
     ( $($rest:tt)* ) => {
         $crate::proptest!(@expand ($crate::ProptestConfig::default()); $($rest)*);
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_shrink_halves_toward_start() {
+        let s = 0u32..100;
+        assert_eq!(s.shrink(&80), vec![0, 40]);
+        assert_eq!(s.shrink(&1), vec![0]);
+        assert!(s.shrink(&0).is_empty());
+        let signed = -50i32..50;
+        assert_eq!(signed.shrink(&30), vec![-50, -10]);
+    }
+
+    #[test]
+    fn float_shrink_halves_toward_start() {
+        let s = 0.0f64..100.0;
+        assert_eq!(s.shrink(&64.0), vec![0.0, 32.0]);
+        assert!(s.shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_truncates_and_respects_floor() {
+        let s = collection::vec(0u32..10, 2..6);
+        let cands = s.shrink(&vec![5, 5, 5, 5]);
+        // Truncations stop at the floor of 2.
+        assert!(cands.iter().all(|v| v.len() >= 2));
+        assert!(cands.iter().any(|v| v.len() == 2));
+        assert!(cands.iter().any(|v| v.len() == 3));
+        // Element-wise shrinks keep the length.
+        assert!(cands.iter().any(|v| v.len() == 4 && v[0] == 0));
+    }
+
+    #[test]
+    fn option_shrink_prefers_none() {
+        let s = option::of(0u32..10);
+        assert_eq!(s.shrink(&Some(4)).first(), Some(&None));
+        assert!(s.shrink(&None).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let s = (0u32..10, 0u32..10);
+        for (a, b) in s.shrink(&(4, 6)) {
+            assert!((a, b) != (4, 6));
+            assert!(a == 4 || b == 6, "both components moved at once");
+        }
+    }
+
+    #[test]
+    fn check_minimizes_a_failure() {
+        // The property "v.len() < 3" fails for any longer vector; greedy
+        // truncation must land exactly on the 3-element boundary case.
+        let seen = std::sync::Mutex::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                64,
+                "check_minimizes_a_failure",
+                (collection::vec(0u32..100, 0..8),),
+                |(v,)| {
+                    if v.len() >= 3 {
+                        seen.lock().unwrap().push(v.clone());
+                        panic!("too long");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err(), "property should fail");
+        let seen = seen.into_inner().unwrap();
+        let last = seen.last().expect("at least one failing case");
+        assert_eq!(last.len(), 3, "not minimized: {last:?}");
+        assert!(
+            last.iter().all(|&x| x == 0),
+            "elements not minimized: {last:?}"
+        );
+    }
+
+    #[test]
+    fn check_passes_quietly() {
+        check(32, "check_passes_quietly", (0u32..10,), |(x,)| {
+            assert!(x < 10);
+        });
+    }
 }
