@@ -14,7 +14,7 @@
 //! ```
 //!
 //! Flags: `--figure
-//! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|faults|all>`
+//! <fig3|fig8|fig11|fig12|fig16|fig17|burst|tenants|devices|faults|scale|all>`
 //! (repeatable), `--seeds N` (default 8), `--threads N` (default: available
 //! cores), `--secs S` (default 3600), `--master-seed S` (default 1994),
 //! `--out DIR` (default `.`), `--smoke` (defaults-only: the seed and
@@ -52,7 +52,11 @@
 //! policy name reads `"<device>+<eviction>/<policy>"`. `--figure faults`
 //! sweeps fault-plan intensity (0 = fault-free control) × degradation
 //! policy; each cell's policy name reads `"<mode>/<policy>"` with mode
-//! `abort` or `requeue`. Under `--trace` the faults figure streams each
+//! `abort` or `requeue`. `--figure scale` sweeps the tenant population
+//! 10¹→10³ (one soft-quota tenant grid per cell) under incremental
+//! partitioned reallocation, the pinned full-snapshot reference path
+//! (`"snapshot/Partitioned-soft"` cells), and per-tenant-adaptive
+//! `PMM-tenant`. Under `--trace` the faults figure streams each
 //! cell's structured trace straight to `TRACE_obs_faults_cell<i>.txt`
 //! instead of buffering it in memory (so no Chrome export is produced for
 //! streamed cells). A replication that panics does not abort the sweep:

@@ -27,11 +27,12 @@ use std::sync::OnceLock;
 /// Names of the figure experiments the driver knows how to shard. Beyond
 /// the paper's figures, `burst` sweeps MMPP burst ratios, `tenants` sweeps
 /// multi-tenant quota splits, `devices` crosses the storage service models
-/// with the buffer-pool eviction policies, and `faults` sweeps fault-storm
-/// intensity × degradation policy.
-pub const FIGURES: [&str; 10] = [
+/// with the buffer-pool eviction policies, `faults` sweeps fault-storm
+/// intensity × degradation policy, and `scale` sweeps tenant population
+/// 10¹→10³ under incremental vs snapshot reallocation.
+pub const FIGURES: [&str; 11] = [
     "fig3", "fig8", "fig11", "fig12", "fig16", "fig17", "burst", "tenants", "devices",
-    "faults",
+    "faults", "scale",
 ];
 
 /// Two-sided 90% Student-t quantile (`t_{0.95, df}`) for the given degrees
@@ -167,6 +168,18 @@ pub fn figure_spec(name: &str) -> Result<FigureSpec, String> {
             // when the cell runs.
             cells: cross(&crate::FAULT_INTENSITIES, &crate::FAULT_POLICIES),
         },
+        "scale" => FigureSpec {
+            name: "scale",
+            x_label: "tenant count",
+            // The `snapshot/` prefix pins the reference full-snapshot
+            // allocation path (split back out by `split_snapshot_cell`),
+            // so incremental vs snapshot reallocation is an arm of the
+            // sweep rather than a separate figure.
+            cells: cross(
+                &crate::SCALE_TENANTS.map(|n| n as f64),
+                &crate::SCALE_POLICIES,
+            ),
+        },
         // Hidden from `FIGURES` (and so from `--figure all`): a tiny sweep
         // whose middle cell runs the deliberately crashing `panic` policy,
         // proving end to end that a panicking replication is quarantined
@@ -221,6 +234,7 @@ fn cell_config(figure: &str, x: f64) -> SimConfig {
         // x is the fault-storm intensity; the degradation mode is per cell,
         // applied from the cell's policy name by `apply_fault_cell`.
         "faults" => SimConfig::faulty(x),
+        "scale" => SimConfig::scale(x as usize),
         "crashtest" => SimConfig::baseline(0.05),
         other => unreachable!("figure_spec admitted unknown figure {other}"),
     }
@@ -1066,7 +1080,49 @@ pub fn metrics_json(result: &FigureResult) -> String {
             }
             out.push_str("]}");
         }
-        out.push_str("],\"windows\":[");
+        out.push(']');
+        // Label families ride only in multi-tenant cells, so single-tenant
+        // metrics JSON keeps its established byte-exact shape.
+        if !cm.metrics.counter_families.is_empty()
+            || !cm.metrics.gauge_families.is_empty()
+        {
+            out.push_str(",\"families\":[");
+            let mut first = true;
+            for (name, values) in &cm.metrics.counter_families {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"kind\":\"counter\",\"values\":["
+                ));
+                for (k, v) in values.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push_str("]}");
+            }
+            for (name, values) in &cm.metrics.gauge_families {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"kind\":\"gauge\",\"values\":["
+                ));
+                for (k, v) in values.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    push_f64(&mut out, *v);
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push_str(",\"windows\":[");
         for (j, w) in cm.metrics.windows.iter().enumerate() {
             if j > 0 {
                 out.push(',');

@@ -80,8 +80,11 @@ impl MemoryPolicy for PanicPolicy {
 /// `"PMM-tenant-regime"` run one (optionally regime-aware) PMM controller
 /// per partition (PMM v2). Device-sweep cell names
 /// (`"<combo>/<policy>"`, see [`split_device_cell`]) resolve to their
-/// inner allocation policy — the device part only shapes the config. All
-/// other names defer to [`make_policy`].
+/// inner allocation policy — the device part only shapes the config —
+/// and `"snapshot/<policy>"` cells wrap the inner policy in
+/// [`SnapshotOnly`], pinning it to the full-snapshot allocation
+/// path (see [`split_snapshot_cell`]). All other names defer to
+/// [`make_policy`].
 ///
 /// # Panics
 /// Panics on an unknown name, or a tenant-aware name against a config
@@ -92,6 +95,9 @@ pub fn make_policy_for(cfg: &SimConfig, name: &str) -> Box<dyn MemoryPolicy> {
     }
     if let Some((_, policy)) = split_fault_cell(name) {
         return make_policy_for(cfg, policy);
+    }
+    if let Some(policy) = split_snapshot_cell(name) {
+        return Box::new(SnapshotOnly::new(make_policy_for(cfg, policy)));
     }
     let partitions = || -> Vec<PartitionSpec> {
         assert!(
@@ -241,6 +247,27 @@ pub fn apply_fault_cell(mut cfg: SimConfig, name: &str) -> (SimConfig, String) {
         }
         None => (cfg, name.to_string()),
     }
+}
+
+/// Tenant counts of the scale figure's 10¹ → 10³ sweep.
+pub const SCALE_TENANTS: [usize; 3] = [10, 100, 1000];
+/// The policies of the scale figure: incremental dirty-set allocation,
+/// the same policy pinned to the full-snapshot reference path (the
+/// `snapshot/` control arm), and the adaptive per-tenant controllers.
+pub const SCALE_POLICIES: [&str; 3] = [
+    "Partitioned-soft",
+    "snapshot/Partitioned-soft",
+    "PMM-tenant",
+];
+
+/// Split a scale-figure cell name `"snapshot/<policy>"` into the wrapped
+/// allocation-policy name. The `snapshot/` prefix pins the policy to the
+/// full-snapshot reference allocation path (`pmm::SnapshotOnly`) — the
+/// control arm of the incremental-reallocation comparison. Returns `None`
+/// for every other name, including device (`ssd+lruk/…`) and fault
+/// (`requeue/…`) cells.
+pub fn split_snapshot_cell(name: &str) -> Option<&str> {
+    name.strip_prefix("snapshot/")
 }
 
 /// Analytics-tenant memory fractions of the multi-tenant sweep.
@@ -516,6 +543,35 @@ mod tests {
         let cfg = SimConfig::faulty(0.5);
         assert_eq!(make_policy_for(&cfg, "abort/PMM").name(), "PMM");
         assert_eq!(make_policy_for(&cfg, "requeue/MinMax").name(), "MinMax");
+    }
+
+    #[test]
+    fn snapshot_cell_names_round_trip() {
+        assert_eq!(
+            split_snapshot_cell("snapshot/Partitioned-soft"),
+            Some("Partitioned-soft")
+        );
+        // Plain names, device cells, and fault cells pass through.
+        assert!(split_snapshot_cell("Partitioned-soft").is_none());
+        assert!(split_snapshot_cell("ssd+lruk/PMM").is_none());
+        assert!(split_snapshot_cell("requeue/PMM").is_none());
+        assert!(split_device_cell("snapshot/Partitioned-soft").is_none());
+        assert!(split_fault_cell("snapshot/Partitioned-soft").is_none());
+    }
+
+    #[test]
+    fn make_policy_for_resolves_snapshot_cell_names() {
+        let cfg = SimConfig::scale(4);
+        let wrapped = make_policy_for(&cfg, "snapshot/Partitioned-soft");
+        assert_eq!(wrapped.name(), "snapshot/Partitioned-soft");
+        assert!(
+            !wrapped.supports_dirty_allocation(),
+            "the snapshot wrapper pins the full-snapshot path"
+        );
+        assert!(
+            make_policy_for(&cfg, "Partitioned-soft").supports_dirty_allocation(),
+            "the unwrapped partitioned policy takes the incremental path"
+        );
     }
 
     #[test]

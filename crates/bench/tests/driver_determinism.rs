@@ -307,6 +307,154 @@ fn trace_artifacts_are_thread_count_invariant() {
     assert_eq!(off.to_json(), serial.to_json());
 }
 
+/// The `scale` figure obeys the same contract at every tenant population:
+/// merged JSON is byte-identical across thread counts, the full
+/// tenant-count × policy grid appears, and — the tentpole equivalence —
+/// the incremental `Partitioned-soft` arm merges to exactly the same
+/// statistics as the pinned `snapshot/Partitioned-soft` reference arm.
+#[test]
+fn scale_json_matches_serial_and_incremental_equals_snapshot() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 150.0,
+        master_seed: 1994,
+        ..DriverConfig::default()
+    };
+    let serial = run_figure("scale", base.clone()).expect("serial run");
+    let parallel =
+        run_figure("scale", DriverConfig { threads: 4, ..base }).expect("parallel run");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "scale: 4-thread JSON must match the serial run"
+    );
+    for n in bench::SCALE_TENANTS {
+        for policy in bench::SCALE_POLICIES {
+            assert!(
+                serial
+                    .cells
+                    .iter()
+                    .any(|c| c.x == n as f64 && c.policy == policy),
+                "cell ({n}, {policy}) present"
+            );
+        }
+        let cell = |policy: &str| {
+            serial
+                .cells
+                .iter()
+                .find(|c| c.x == n as f64 && c.policy == policy)
+                .expect("grid cell")
+        };
+        let inc = cell("Partitioned-soft");
+        let snap = cell("snapshot/Partitioned-soft");
+        assert_eq!(inc.served, snap.served, "{n} tenants: served");
+        assert_eq!(inc.missed, snap.missed, "{n} tenants: missed");
+        assert_eq!(
+            inc.miss_pct.mean.to_bits(),
+            snap.miss_pct.mean.to_bits(),
+            "{n} tenants: incremental and snapshot arms must merge to \
+             bit-identical miss ratios"
+        );
+        assert_eq!(
+            inc.avg_mpl.mean.to_bits(),
+            snap.avg_mpl.mean.to_bits(),
+            "{n} tenants: bit-identical MPL"
+        );
+        assert_eq!(
+            inc.avg_fluctuations.mean.to_bits(),
+            snap.avg_fluctuations.mean.to_bits(),
+            "{n} tenants: bit-identical allocation-fluctuation counts"
+        );
+        assert_eq!(inc.tenants.len(), n, "{n} tenants: one aggregate each");
+        for (ti, tj) in inc.tenants.iter().zip(&snap.tenants) {
+            assert_eq!(ti.served, tj.served);
+            assert_eq!(ti.missed, tj.missed);
+            assert_eq!(
+                ti.borrowed_pages.mean.to_bits(),
+                tj.borrowed_pages.mean.to_bits(),
+                "{n} tenants: bit-identical borrow volume for {}",
+                ti.name
+            );
+        }
+    }
+}
+
+/// Per-tenant metric label families: multi-tenant cells carry dense
+/// per-tenant counters/gauges in their merged metrics JSON, the output is
+/// byte-identical across thread counts, and single-tenant figures' metrics
+/// JSON keeps its established family-free shape.
+#[test]
+fn tenant_metric_families_merge_and_stay_thread_invariant() {
+    let base = DriverConfig {
+        seeds: 2,
+        threads: 1,
+        secs: 200.0,
+        master_seed: 1994,
+        metrics: true,
+        ..DriverConfig::default()
+    };
+    let serial = run_figure("tenants", base.clone()).expect("serial run");
+    let parallel = run_figure(
+        "tenants",
+        DriverConfig {
+            threads: 4,
+            ..base.clone()
+        },
+    )
+    .expect("parallel run");
+    let json = bench::driver::metrics_json(&serial);
+    assert_eq!(
+        json,
+        bench::driver::metrics_json(&parallel),
+        "tenants metrics JSON must be byte-identical across thread counts"
+    );
+    assert!(json.contains("\"families\":["), "{json}");
+    assert!(
+        json.contains(
+            "{\"name\":\"engine.tenant.served\",\"kind\":\"counter\",\"values\":["
+        ),
+        "{json}"
+    );
+    assert!(json.contains("\"engine.tenant.missed\""));
+    assert!(
+        json.contains("{\"name\":\"engine.tenant.mpl\",\"kind\":\"gauge\",\"values\":["),
+        "{json}"
+    );
+    for cm in &serial.metrics {
+        let served: u64 = cm
+            .metrics
+            .counter_families
+            .iter()
+            .find(|(n, _)| n == "engine.tenant.served")
+            .map(|(_, v)| v.iter().sum())
+            .expect("tenants cells carry the served family");
+        let total = cm
+            .metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == "engine.served")
+            .map(|(_, v)| *v)
+            .expect("plain served counter present");
+        assert_eq!(
+            served, total,
+            "cell {}: per-tenant served cells must sum to the global counter",
+            cm.cell
+        );
+    }
+    // Single-tenant figures: no families key, same shape as before.
+    let single = run_figure(
+        "fig11",
+        DriverConfig {
+            seeds: 1,
+            secs: 150.0,
+            ..base
+        },
+    )
+    .expect("fig11 runs");
+    assert!(!bench::driver::metrics_json(&single).contains("\"families\""));
+}
+
 /// Different master seeds must actually change the results — otherwise the
 /// determinism assertions above would be vacuous.
 #[test]

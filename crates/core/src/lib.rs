@@ -32,7 +32,7 @@ pub mod prelude {
     pub use obs::{ObsConfig, TraceEvent, TraceMode};
     pub use pmm::{
         MaxPolicy, MemoryPolicy, MinMaxPolicy, PartitionSpec, PartitionedPolicy, Pmm,
-        PmmParams, ProportionalPolicy, StrategyMode, TenantPmm,
+        PmmParams, ProportionalPolicy, SnapshotOnly, StrategyMode, TenantPmm,
     };
     pub use rtdbs::{
         run_simulation, ConfigError, DegradationMode, FaultPlan, FaultSpec,

@@ -26,7 +26,8 @@ pub mod trace;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{
-    CounterId, GaugeId, HistId, HistReport, MetricsRegistry, MetricsReport, MetricsWindow,
+    CounterFamilyId, CounterId, GaugeFamilyId, GaugeId, HistId, HistReport,
+    MetricsRegistry, MetricsReport, MetricsWindow,
 };
 pub use profile::{ProfileReport, Profiler, Section, SectionStats};
 pub use trace::{

@@ -20,6 +20,14 @@ pub struct GaugeId(usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistId(usize);
 
+/// Handle to a registered counter family (one label dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterFamilyId(usize);
+
+/// Handle to a registered gauge family (one label dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeFamilyId(usize);
+
 #[derive(Clone, Debug)]
 struct Counter {
     name: &'static str,
@@ -40,6 +48,23 @@ struct Hist {
     counts: Vec<u64>,
 }
 
+/// A counter with one label dimension of fixed cardinality (e.g. one cell
+/// per tenant). Storage is a dense array — label values are the indices
+/// `0..n`, so a 10³-tenant registry is one allocation, not 10³ name-keyed
+/// instruments, and updates stay a plain array index.
+#[derive(Clone, Debug)]
+struct CounterFamily {
+    name: &'static str,
+    values: Vec<u64>,
+}
+
+/// A gauge family: the [`CounterFamily`] shape for last-value readings.
+#[derive(Clone, Debug)]
+struct GaugeFamily {
+    name: &'static str,
+    values: Vec<f64>,
+}
+
 /// One windowed snapshot: per-counter deltas since the previous roll,
 /// in counter registration order.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +81,8 @@ pub struct MetricsRegistry {
     counters: Vec<Counter>,
     gauges: Vec<Gauge>,
     hists: Vec<Hist>,
+    counter_families: Vec<CounterFamily>,
+    gauge_families: Vec<GaugeFamily>,
     windows: Vec<MetricsWindow>,
     last: Vec<u64>,
 }
@@ -92,10 +119,46 @@ impl MetricsRegistry {
         HistId(self.hists.len() - 1)
     }
 
+    /// Register a counter family with `labels` dense label cells. Families
+    /// do not participate in windowed delta snapshots, so registering one
+    /// never changes the established window column order.
+    pub fn counter_family(
+        &mut self,
+        name: &'static str,
+        labels: usize,
+    ) -> CounterFamilyId {
+        self.counter_families.push(CounterFamily {
+            name,
+            values: vec![0; labels],
+        });
+        CounterFamilyId(self.counter_families.len() - 1)
+    }
+
+    /// Register a gauge family with `labels` dense label cells.
+    pub fn gauge_family(&mut self, name: &'static str, labels: usize) -> GaugeFamilyId {
+        self.gauge_families.push(GaugeFamily {
+            name,
+            values: vec![0.0; labels],
+        });
+        GaugeFamilyId(self.gauge_families.len() - 1)
+    }
+
     /// Add `by` to a counter.
     #[inline]
     pub fn inc(&mut self, id: CounterId, by: u64) {
         self.counters[id.0].value += by;
+    }
+
+    /// Add `by` to label cell `label` of a counter family.
+    #[inline]
+    pub fn inc_cell(&mut self, id: CounterFamilyId, label: usize, by: u64) {
+        self.counter_families[id.0].values[label] += by;
+    }
+
+    /// Set label cell `label` of a gauge family to its latest value.
+    #[inline]
+    pub fn set_gauge_cell(&mut self, id: GaugeFamilyId, label: usize, value: f64) {
+        self.gauge_families[id.0].values[label] = value;
     }
 
     /// Current counter value.
@@ -159,6 +222,16 @@ impl MetricsRegistry {
                     counts: h.counts.clone(),
                 })
                 .collect(),
+            counter_families: self
+                .counter_families
+                .iter()
+                .map(|f| (f.name.to_string(), f.values.clone()))
+                .collect(),
+            gauge_families: self
+                .gauge_families
+                .iter()
+                .map(|f| (f.name.to_string(), f.values.clone()))
+                .collect(),
             windows: self.windows.clone(),
         }
     }
@@ -185,6 +258,12 @@ pub struct MetricsReport {
     pub gauges: Vec<(String, f64)>,
     /// Frozen histograms, registration order.
     pub hists: Vec<HistReport>,
+    /// `(name, per-label totals)` per counter family, registration order.
+    /// Empty unless the run registered labelled instruments (multi-tenant
+    /// configs), so single-tenant metrics output is unchanged.
+    pub counter_families: Vec<(String, Vec<u64>)>,
+    /// `(name, per-label last values)` per gauge family.
+    pub gauge_families: Vec<(String, Vec<f64>)>,
     /// Windowed counter-delta snapshots, chronological.
     pub windows: Vec<MetricsWindow>,
 }
@@ -213,6 +292,17 @@ impl MetricsReport {
                     *c += *s;
                 }
             }
+            for (dst, src) in out.counter_families.iter_mut().zip(&r.counter_families) {
+                debug_assert_eq!(dst.0, src.0);
+                for (c, s) in dst.1.iter_mut().zip(src.1.iter()) {
+                    *c += *s;
+                }
+            }
+            for (dst, src) in out.gauge_families.iter_mut().zip(&r.gauge_families) {
+                for (c, s) in dst.1.iter_mut().zip(src.1.iter()) {
+                    *c += *s;
+                }
+            }
             for (wi, w) in r.windows.iter().enumerate() {
                 if wi < out.windows.len() {
                     for (d, s) in out.windows[wi].deltas.iter_mut().zip(w.deltas.iter()) {
@@ -226,6 +316,11 @@ impl MetricsReport {
         let n = reports.len() as f64;
         for g in &mut out.gauges {
             g.1 /= n;
+        }
+        for f in &mut out.gauge_families {
+            for v in &mut f.1 {
+                *v /= n;
+            }
         }
         out
     }
@@ -306,5 +401,49 @@ mod tests {
     #[test]
     fn merge_of_empty_is_default() {
         assert_eq!(MetricsReport::merge(&[]), MetricsReport::default());
+    }
+
+    #[test]
+    fn families_store_densely_and_merge_per_label() {
+        let mut reg = MetricsRegistry::new();
+        let served = reg.counter_family("engine.tenant.served", 3);
+        let mpl = reg.gauge_family("engine.tenant.mpl", 3);
+        reg.inc_cell(served, 0, 2);
+        reg.inc_cell(served, 2, 5);
+        reg.set_gauge_cell(mpl, 1, 4.0);
+        let a = reg.report();
+        assert_eq!(
+            a.counter_families,
+            vec![("engine.tenant.served".to_string(), vec![2, 0, 5])]
+        );
+        assert_eq!(
+            a.gauge_families,
+            vec![("engine.tenant.mpl".to_string(), vec![0.0, 4.0, 0.0])]
+        );
+        let mut reg_b = MetricsRegistry::new();
+        let served_b = reg_b.counter_family("engine.tenant.served", 3);
+        let mpl_b = reg_b.gauge_family("engine.tenant.mpl", 3);
+        reg_b.inc_cell(served_b, 0, 1);
+        reg_b.set_gauge_cell(mpl_b, 1, 2.0);
+        let b = reg_b.report();
+        let merged = MetricsReport::merge(&[&a, &b]);
+        assert_eq!(merged.counter_families[0].1, vec![3, 0, 5]);
+        assert_eq!(merged.gauge_families[0].1, vec![0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn families_never_perturb_windowed_deltas() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("engine.arrivals");
+        let f = reg.counter_family("engine.tenant.served", 2);
+        reg.inc(c, 1);
+        reg.inc_cell(f, 1, 9);
+        reg.roll(100.0);
+        let rep = reg.report();
+        assert_eq!(
+            rep.windows[0].deltas,
+            vec![1],
+            "window columns stay plain-counter only"
+        );
     }
 }

@@ -38,12 +38,19 @@ impl AllocScratch {
     /// order incrementally (arrival/departure only — deadlines are fixed),
     /// so on the per-event hot path the `is_sorted` check turns the re-sort
     /// into a linear verification. Arbitrary callers still get sorted.
-    fn ed_order(&mut self, queries: &[QueryDemand]) {
+    pub(crate) fn ed_order(&mut self, queries: &[QueryDemand]) {
         self.sorted.clear();
         self.sorted.extend_from_slice(queries);
         if !self.sorted.is_sorted_by_key(|q| (q.deadline, q.id)) {
             self.sorted.sort_unstable_by_key(|q| (q.deadline, q.id));
         }
+    }
+
+    /// The ED-sorted copy left behind by the last [`AllocScratch::ed_order`]
+    /// call (the incremental allocator's full-member emission walks it in
+    /// lockstep with the grants, which are always an ED prefix).
+    pub(crate) fn sorted(&self) -> &[QueryDemand] {
+        &self.sorted
     }
 }
 
@@ -106,6 +113,22 @@ pub fn minmax_allocate_into(
     scratch: &mut AllocScratch,
     out: &mut Grants,
 ) {
+    let _ = minmax_allocate_flagged_into(queries, total, limit, scratch, out);
+}
+
+/// [`minmax_allocate_into`], additionally reporting whether the division was
+/// *budget-limited*: `true` means a different budget could change the grants
+/// (admission stopped on memory, or the top-up pass exhausted the budget).
+/// `false` guarantees the same grants for every budget ≥ the granted total —
+/// the reuse certificate the incremental allocator caches. Conservative:
+/// `true` may be returned even when the outcome happens to be stable.
+pub(crate) fn minmax_allocate_flagged_into(
+    queries: &[QueryDemand],
+    total: u32,
+    limit: Option<u32>,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) -> bool {
     scratch.ed_order(queries);
     let n = limit.map(|l| l as usize).unwrap_or(usize::MAX);
     // Pass 1: minimums, in priority order, stopping when memory or the MPL
@@ -120,6 +143,9 @@ pub fn minmax_allocate_into(
             break;
         }
     }
+    // Admission ended early only if memory broke the loop before the MPL
+    // limit / group size did.
+    let admission_limited = out.len() < scratch.sorted.len().min(n);
     // Pass 2: top up to the maximum, again in priority order.
     for (i, grant) in out.iter_mut().enumerate() {
         let want = scratch.sorted[i].max_mem - grant.1;
@@ -130,6 +156,7 @@ pub fn minmax_allocate_into(
             break;
         }
     }
+    admission_limited || free == 0
 }
 
 /// **Proportional-N** strategy: admit like MinMax-N, but divide memory so
@@ -342,12 +369,25 @@ impl PartitionStrategy {
         alloc: &mut AllocScratch,
         out: &mut Grants,
     ) {
+        let _ = self.divide_flagged(queries, budget, alloc, out);
+    }
+
+    /// [`PartitionStrategy::divide`], reporting whether the division was
+    /// budget-limited (see [`minmax_allocate_flagged_into`]); the grants are
+    /// identical either way.
+    pub(crate) fn divide_flagged(
+        self,
+        queries: &[QueryDemand],
+        budget: u32,
+        alloc: &mut AllocScratch,
+        out: &mut Grants,
+    ) -> bool {
         match self {
             PartitionStrategy::Max => {
-                max_allocate_clamped_into(queries, budget, alloc, out);
+                max_allocate_clamped_flagged_into(queries, budget, alloc, out)
             }
             PartitionStrategy::MinMax(limit) => {
-                minmax_allocate_into(queries, budget, limit, alloc, out);
+                minmax_allocate_flagged_into(queries, budget, limit, alloc, out)
             }
         }
     }
@@ -365,18 +405,35 @@ pub fn max_allocate_clamped_into(
     scratch: &mut AllocScratch,
     out: &mut Grants,
 ) {
+    let _ = max_allocate_clamped_flagged_into(queries, total, scratch, out);
+}
+
+/// [`max_allocate_clamped_into`], additionally reporting whether the
+/// division was budget-limited: admission stopped on memory, or any demand
+/// was clamped at the budget (the clamp makes grants budget-*dependent*, so
+/// a different budget could redistribute). The grants are identical either
+/// way; see [`minmax_allocate_flagged_into`] for the flag's contract.
+pub(crate) fn max_allocate_clamped_flagged_into(
+    queries: &[QueryDemand],
+    total: u32,
+    scratch: &mut AllocScratch,
+    out: &mut Grants,
+) -> bool {
     scratch.ed_order(queries);
     out.clear();
     let mut free = total;
+    let mut clamped = false;
     for q in &scratch.sorted {
+        clamped |= q.max_mem > total;
         let want = q.max_mem.min(total).max(q.min_mem);
         if want <= free {
             free -= want;
             out.push((q.id, want));
         } else {
-            break; // strict ED: nobody overtakes a blocked urgent query
+            return true; // strict ED: nobody overtakes a blocked urgent query
         }
     }
+    clamped
 }
 
 /// [`partitioned_allocate_into`] generalized to a *per-partition* strategy:

@@ -17,6 +17,11 @@
 //! * [`partition`] — multi-tenant quotas: [`partition::PartitionedPolicy`]
 //!   runs the MinMax machinery per tenant partition with hard/soft quotas
 //!   and borrow-back.
+//! * [`incremental`] — scale-out reallocation: the dirty-set incremental
+//!   allocator ([`incremental::IncrementalPartitioned`]) re-divides only
+//!   partitions whose demand or strategy changed, arbitrating soft-quota
+//!   borrow-back over a hierarchical partition tree — bit-for-bit equal to
+//!   the reference two-pass division.
 //! * [`tenant_pmm`] — PMM v2's adaptive multi-tenant mode:
 //!   [`tenant_pmm::TenantPmm`] runs an independent PMM controller per
 //!   partition, fed by per-tenant batches, with soft-quota borrow-back
@@ -30,6 +35,7 @@
 
 pub mod adaptive;
 pub mod allocator;
+pub mod incremental;
 pub mod partition;
 pub mod policy;
 pub mod tenant_pmm;
@@ -48,8 +54,11 @@ pub use allocator::{
 pub use allocator::{
     max_allocate, minmax_allocate, partitioned_allocate, proportional_allocate,
 };
+pub use incremental::{DirtySet, IncrementalPartitioned, GROUP_SIZE};
 pub use partition::PartitionedPolicy;
-pub use policy::{MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy};
+pub use policy::{
+    MaxPolicy, MemoryPolicy, MinMaxPolicy, ProportionalPolicy, SnapshotOnly,
+};
 pub use tenant_pmm::TenantPmm;
 pub use types::{
     BatchStats, QueryDemand, QueryId, StrategyMode, SystemSnapshot, TracePoint,

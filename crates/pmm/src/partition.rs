@@ -10,9 +10,11 @@
 
 use crate::allocator::{
     partitioned_allocate_into, AllocScratch, Grants, PartitionScratch, PartitionSpec,
+    PartitionStrategy,
 };
+use crate::incremental::{DirtySet, IncrementalPartitioned};
 use crate::policy::MemoryPolicy;
-use crate::types::{StrategyMode, SystemSnapshot};
+use crate::types::{QueryDemand, StrategyMode, SystemSnapshot};
 
 /// MinMax-per-partition multi-tenant policy.
 pub struct PartitionedPolicy {
@@ -21,6 +23,11 @@ pub struct PartitionedPolicy {
     /// Per-partition group/grant buffers reused across allocation events
     /// (the caller-owned `AllocScratch` only covers the shared ED sort).
     scratch: PartitionScratch,
+    /// Dirty-set allocation state, built on first use (after the builders
+    /// have finished shaping `partitions`). Strategies are static here —
+    /// MinMax-`limit` everywhere — so only demand churn dirties a partition.
+    incremental: Option<IncrementalPartitioned>,
+    strategies: Vec<PartitionStrategy>,
 }
 
 impl PartitionedPolicy {
@@ -30,6 +37,8 @@ impl PartitionedPolicy {
             partitions,
             limit: None,
             scratch: PartitionScratch::default(),
+            incremental: None,
+            strategies: Vec::new(),
         }
     }
 
@@ -80,6 +89,33 @@ impl MemoryPolicy for PartitionedPolicy {
             snapshot.total_memory,
             self.limit,
             &mut self.scratch,
+            out,
+        );
+    }
+
+    fn supports_dirty_allocation(&self) -> bool {
+        // The empty table degenerates to un-partitioned MinMax, which has
+        // no dirty-set structure; it stays on the snapshot path.
+        !self.partitions.is_empty()
+    }
+
+    fn allocate_dirty_into(
+        &mut self,
+        total_memory: u32,
+        groups: &[Vec<QueryDemand>],
+        dirty: &mut DirtySet,
+        out: &mut Grants,
+    ) {
+        if self.incremental.is_none() {
+            self.incremental = Some(IncrementalPartitioned::new(self.partitions.clone()));
+            self.strategies =
+                vec![PartitionStrategy::MinMax(self.limit); self.partitions.len()];
+        }
+        self.incremental.as_mut().unwrap().allocate_dirty_into(
+            groups,
+            &self.strategies,
+            total_memory,
+            dirty,
             out,
         );
     }

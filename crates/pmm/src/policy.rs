@@ -4,7 +4,8 @@ use crate::allocator::{
     max_allocate_into, minmax_allocate_into, proportional_allocate_into, AllocScratch,
     Grants,
 };
-use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
+use crate::incremental::DirtySet;
+use crate::types::{BatchStats, QueryDemand, StrategyMode, SystemSnapshot, TracePoint};
 
 /// A memory-management policy: the simulator consults it whenever the set
 /// of live queries changes and feeds it batch statistics every `SampleSize`
@@ -32,6 +33,36 @@ pub trait MemoryPolicy {
         let mut out = Grants::new();
         self.allocate_into(snapshot, &mut AllocScratch::default(), &mut out);
         out
+    }
+
+    /// True when the policy implements the incremental dirty-set allocation
+    /// path ([`MemoryPolicy::allocate_dirty_into`]). The simulator then
+    /// maintains per-partition demand groups and a churn [`DirtySet`]
+    /// instead of rebuilding a full snapshot per reallocation event.
+    fn supports_dirty_allocation(&self) -> bool {
+        false
+    }
+
+    /// Incremental counterpart of [`MemoryPolicy::allocate_into`] for
+    /// policies that opt in via
+    /// [`MemoryPolicy::supports_dirty_allocation`]: `groups[p]` holds
+    /// partition `p`'s live demands (any order), `dirty` the partitions
+    /// whose demand set changed since the previous call (the policy may add
+    /// its own marks, e.g. for strategy switches, before consuming it).
+    /// `out` receives one `(id, pages)` pair for **every** member of every
+    /// recomputed partition — explicit zeros included — and nothing for
+    /// partitions whose grants carry over bit-for-bit. The applied result
+    /// must be identical to [`MemoryPolicy::allocate_into`] over the
+    /// concatenated groups.
+    fn allocate_dirty_into(
+        &mut self,
+        total_memory: u32,
+        groups: &[Vec<QueryDemand>],
+        dirty: &mut DirtySet,
+        out: &mut Grants,
+    ) {
+        let _ = (total_memory, groups, dirty, out);
+        unreachable!("policy does not support dirty-set allocation");
     }
 
     /// Batch boundary callback (adaptive policies learn here).
@@ -189,6 +220,62 @@ impl MemoryPolicy for ProportionalPolicy {
     }
 }
 
+/// Forces the wrapped policy down the full-snapshot reference path by
+/// reporting [`MemoryPolicy::supports_dirty_allocation`] `false` — the
+/// control arm of the `scale` figure's incremental-vs-snapshot comparison
+/// (cells named `snapshot/<policy>`). Everything else delegates.
+pub struct SnapshotOnly {
+    inner: Box<dyn MemoryPolicy>,
+}
+
+impl SnapshotOnly {
+    /// Wrap `inner`, pinning it to the snapshot allocation path.
+    pub fn new(inner: Box<dyn MemoryPolicy>) -> Self {
+        SnapshotOnly { inner }
+    }
+}
+
+impl MemoryPolicy for SnapshotOnly {
+    fn name(&self) -> String {
+        format!("snapshot/{}", self.inner.name())
+    }
+
+    fn allocate_into(
+        &mut self,
+        snapshot: &SystemSnapshot,
+        scratch: &mut AllocScratch,
+        out: &mut Grants,
+    ) {
+        self.inner.allocate_into(snapshot, scratch, out);
+    }
+
+    // supports_dirty_allocation deliberately NOT delegated: default false.
+
+    fn on_batch(&mut self, stats: &BatchStats) {
+        self.inner.on_batch(stats);
+    }
+
+    fn wants_tenant_feedback(&self) -> bool {
+        self.inner.wants_tenant_feedback()
+    }
+
+    fn on_tenant_batch(&mut self, tenant: u32, stats: &BatchStats) {
+        self.inner.on_tenant_batch(tenant, stats);
+    }
+
+    fn target_mpl(&self) -> Option<u32> {
+        self.inner.target_mpl()
+    }
+
+    fn mode(&self) -> StrategyMode {
+        self.inner.mode()
+    }
+
+    fn trace(&self) -> &[TracePoint] {
+        self.inner.trace()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +327,19 @@ mod tests {
         assert_eq!(MinMaxPolicy::with_limit(10).target_mpl(), Some(10));
         assert_eq!(MinMaxPolicy::unlimited().target_mpl(), None);
         assert_eq!(MaxPolicy.target_mpl(), None);
+    }
+
+    #[test]
+    fn snapshot_only_delegates_but_pins_the_snapshot_path() {
+        let mut p = SnapshotOnly::new(Box::new(MinMaxPolicy::with_limit(10)));
+        assert_eq!(p.name(), "snapshot/MinMax-10");
+        assert!(!p.supports_dirty_allocation());
+        assert_eq!(p.target_mpl(), Some(10));
+        assert_eq!(p.mode(), StrategyMode::MinMax);
+        assert_eq!(
+            p.allocate(&snapshot(80)),
+            MinMaxPolicy::with_limit(10).allocate(&snapshot(80))
+        );
     }
 
     #[test]

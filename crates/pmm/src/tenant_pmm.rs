@@ -20,8 +20,9 @@ use crate::allocator::{
     partitioned_allocate_with_into, AllocScratch, Grants, PartitionScratch,
     PartitionSpec, PartitionStrategy,
 };
+use crate::incremental::{DirtySet, IncrementalPartitioned};
 use crate::policy::MemoryPolicy;
-use crate::types::{BatchStats, StrategyMode, SystemSnapshot, TracePoint};
+use crate::types::{BatchStats, QueryDemand, StrategyMode, SystemSnapshot, TracePoint};
 
 /// Adaptive multi-tenant policy: one [`Pmm`] controller per partition.
 pub struct TenantPmm {
@@ -41,6 +42,13 @@ pub struct TenantPmm {
     /// How many trace points of each controller have been merged already.
     trace_seen: Vec<usize>,
     regime_aware: bool,
+    /// Dirty-set allocation state, built on first use (after the builders
+    /// have finished shaping `partitions`).
+    incremental: Option<IncrementalPartitioned>,
+    /// Partitions whose controller switched strategy since the last
+    /// allocation — they must re-divide even if their demand set did not
+    /// change, so the allocator merges them into the caller's dirty set.
+    strategy_dirty: Vec<u32>,
 }
 
 impl TenantPmm {
@@ -72,6 +80,8 @@ impl TenantPmm {
             trace: Vec::new(),
             trace_seen: vec![0; n],
             regime_aware: false,
+            incremental: None,
+            strategy_dirty: Vec::new(),
         }
     }
 
@@ -114,15 +124,20 @@ impl TenantPmm {
         (tenant as usize).min(self.partitions.len() - 1)
     }
 
+    /// The partition strategy controller `c` currently publishes.
+    fn strategy_of(c: &Pmm) -> PartitionStrategy {
+        match c.mode() {
+            StrategyMode::Max => PartitionStrategy::Max,
+            // A PMM controller's MinMax target is its partition's MPL
+            // ceiling here — per-tenant, not system-wide.
+            _ => PartitionStrategy::MinMax(c.target_mpl()),
+        }
+    }
+
     /// Refresh the per-partition strategy table from the controllers.
     fn refresh_strategies(&mut self) {
         for (s, c) in self.strategies.iter_mut().zip(&self.controllers) {
-            *s = match c.mode() {
-                StrategyMode::Max => PartitionStrategy::Max,
-                // A PMM controller's MinMax target is its partition's MPL
-                // ceiling here — per-tenant, not system-wide.
-                _ => PartitionStrategy::MinMax(c.target_mpl()),
-            };
+            *s = Self::strategy_of(c);
         }
     }
 
@@ -163,6 +178,36 @@ impl MemoryPolicy for TenantPmm {
         );
     }
 
+    fn supports_dirty_allocation(&self) -> bool {
+        true
+    }
+
+    fn allocate_dirty_into(
+        &mut self,
+        total_memory: u32,
+        groups: &[Vec<QueryDemand>],
+        dirty: &mut DirtySet,
+        out: &mut Grants,
+    ) {
+        if self.incremental.is_none() {
+            self.refresh_strategies();
+            self.incremental = Some(IncrementalPartitioned::new(self.partitions.clone()));
+        }
+        // Controllers that switched strategy since the last allocation are
+        // as dirty as demand churn: their partitions must re-divide.
+        for k in 0..self.strategy_dirty.len() {
+            dirty.mark(self.strategy_dirty[k] as usize);
+        }
+        self.strategy_dirty.clear();
+        self.incremental.as_mut().unwrap().allocate_dirty_into(
+            groups,
+            &self.strategies,
+            total_memory,
+            dirty,
+            out,
+        );
+    }
+
     fn wants_tenant_feedback(&self) -> bool {
         true
     }
@@ -170,6 +215,14 @@ impl MemoryPolicy for TenantPmm {
     fn on_tenant_batch(&mut self, tenant: u32, stats: &BatchStats) {
         let i = self.clamp(tenant);
         self.controllers[i].on_batch(stats);
+        // Track strategy switches for the incremental path; the strategy
+        // table is the allocator's input, so it is updated here too (the
+        // snapshot path refreshes the whole table per allocation anyway).
+        let new = Self::strategy_of(&self.controllers[i]);
+        if new != self.strategies[i] {
+            self.strategies[i] = new;
+            self.strategy_dirty.push(i as u32);
+        }
         self.merge_trace(i);
     }
 

@@ -35,11 +35,12 @@ use crate::metrics::{
 };
 use exec::{Action, ActionRun, ExternalSort, FileRef, HashJoin, Operator};
 use obs::{
-    CounterId, DegradedAction, FaultClass, GaugeId, HistId, MetricsRegistry, Profiler,
-    Section, TraceEvent, TraceKind, TraceMode, Tracer,
+    CounterFamilyId, CounterId, DegradedAction, FaultClass, GaugeFamilyId, GaugeId,
+    HistId, MetricsRegistry, Profiler, Section, TraceEvent, TraceKind, TraceMode, Tracer,
 };
 use pmm::{
-    AllocScratch, BatchStats, Grants, MemoryPolicy, QueryDemand, QueryId, SystemSnapshot,
+    AllocScratch, BatchStats, DirtySet, Grants, MemoryPolicy, QueryDemand, QueryId,
+    SystemSnapshot,
 };
 use simkit::calendar::EventHandle;
 use simkit::metrics::{BatchMeans, Tally, TimeWeighted, Utilization};
@@ -209,7 +210,10 @@ struct TenantState {
     mpl: TimeWeighted,
     used: TimeWeighted,
     borrowed: TimeWeighted,
-    // Scratch for the single pass over live queries in `update_mpl`.
+    // Exact holder/page counts, maintained incrementally on every grant
+    // diff (`apply_grant`) and departure instead of the seed's per-event
+    // scan over the whole live table — `update_mpl` reads these. Integer
+    // arithmetic keeps the values bit-identical to the scan.
     cur_holders: u32,
     cur_pages: u64,
     // Per-tenant feedback batch window (maintained only when the policy
@@ -418,10 +422,16 @@ struct ObsMetrics {
     faults_batches_segmented: CounterId,
     mpl: GaugeId,
     response: HistId,
+    // Per-tenant label families (multi-tenant configs only). Families
+    // live outside the windowed-delta columns, so registering them never
+    // perturbs the established window layout of single-tenant runs.
+    tenant_served: Option<CounterFamilyId>,
+    tenant_missed: Option<CounterFamilyId>,
+    tenant_mpl: Option<GaugeFamilyId>,
 }
 
 impl ObsMetrics {
-    fn new() -> Self {
+    fn new(tenant_count: usize) -> Self {
         let mut reg = MetricsRegistry::new();
         let arrivals = reg.counter("engine.arrivals");
         let served = reg.counter("engine.served");
@@ -441,6 +451,14 @@ impl ObsMetrics {
         let faults_batches_segmented = reg.counter("faults.batches_segmented");
         let mpl = reg.gauge("engine.mpl");
         let response = reg.histogram("engine.response_secs", RESPONSE_BUCKETS);
+        // Registered last: single-tenant registries stay exactly as before.
+        let multi = tenant_count > 0;
+        let tenant_served =
+            multi.then(|| reg.counter_family("engine.tenant.served", tenant_count));
+        let tenant_missed =
+            multi.then(|| reg.counter_family("engine.tenant.missed", tenant_count));
+        let tenant_mpl =
+            multi.then(|| reg.gauge_family("engine.tenant.mpl", tenant_count));
         ObsMetrics {
             reg,
             arrivals,
@@ -459,6 +477,9 @@ impl ObsMetrics {
             faults_batches_segmented,
             mpl,
             response,
+            tenant_served,
+            tenant_missed,
+            tenant_mpl,
         }
     }
 }
@@ -485,6 +506,19 @@ pub struct Simulator {
     policy_grants: Grants,
     grant_by_slot: Vec<u32>,
     diffs: Vec<(QueryId, u32, u32)>,
+    // Incremental dirty-set allocation (policies opting in via
+    // `supports_dirty_allocation`, multi-tenant configs only): live demands
+    // bucketed per partition, each slot's index inside its bucket (for O(1)
+    // swap-removal), and the set of partitions whose demand changed since
+    // the last allocation event. Reallocation cost then scales with churn,
+    // not population.
+    use_dirty: bool,
+    demand_groups: Vec<Vec<QueryDemand>>,
+    group_pos: Vec<u32>,
+    dirty: DirtySet,
+    /// Live queries holding memory (granted > 0), maintained on grant
+    /// diffs; the single-tenant `update_mpl` reading.
+    holders: u32,
     arrivals: Vec<Box<dyn ArrivalProcess>>,
     rng_arrival: Vec<Rng>,
     rng_pick: Vec<Rng>,
@@ -593,6 +627,7 @@ impl Simulator {
             .map(|t| TenantState::new(t.name.clone(), t.quota_pages, t.soft, start))
             .collect();
         let tenant_feedback = !tenants.is_empty() && policy.wants_tenant_feedback();
+        let use_dirty = !tenants.is_empty() && policy.supports_dirty_allocation();
         // One recording path: `--record-arrivals` routes through the obs
         // sink too. It needs every gap, so it forces a full (non-evicting)
         // sink and enables (at least) the arrival-gap event kind.
@@ -621,7 +656,10 @@ impl Simulator {
                 _ => Tracer::with_mask(mode, cfg.obs.ring_capacity, mask),
             }
         };
-        let obs_metrics = cfg.obs.metrics.then(|| Box::new(ObsMetrics::new()));
+        let obs_metrics = cfg
+            .obs
+            .metrics
+            .then(|| Box::new(ObsMetrics::new(tenants.len())));
         let profiler = Profiler::new(cfg.obs.profile);
         Simulator {
             cal: Calendar::new(),
@@ -643,6 +681,15 @@ impl Simulator {
             policy_grants: Grants::new(),
             grant_by_slot: Vec::new(),
             diffs: Vec::new(),
+            use_dirty,
+            demand_groups: if use_dirty {
+                vec![Vec::new(); tenants.len()]
+            } else {
+                Vec::new()
+            },
+            group_pos: Vec::new(),
+            dirty: DirtySet::new(tenants.len()),
+            holders: 0,
             arrivals: cfg.classes.iter().map(|c| c.arrival.build()).collect(),
             rng_arrival: (0..n_classes)
                 .map(|i| seeds.substream("arrival", i as u64))
@@ -841,6 +888,9 @@ impl Simulator {
             deadline_handle: None,
         };
         let slot = self.live.insert(query);
+        if self.use_dirty {
+            self.group_insert(slot);
+        }
         if self.cfg.firm_deadlines {
             let handle = self.cal.schedule(deadline, Event::Deadline { query: id });
             self.live.slot_mut(slot).deadline_handle = Some(handle);
@@ -925,6 +975,41 @@ impl Simulator {
             if let Some(m) = &mut self.obs_metrics {
                 m.reg.inc(m.reallocations, 1);
             }
+            if self.use_dirty {
+                // Incremental path: the policy sees only the partitions
+                // whose demand (or strategy) changed and re-emits grants for
+                // those; everything else carries over bit-for-bit, so the
+                // diff list is proportional to churn, not population.
+                self.policy.allocate_dirty_into(
+                    self.effective_memory,
+                    &self.demand_groups,
+                    &mut self.dirty,
+                    &mut self.policy_grants,
+                );
+                // Clear *before* applying: departures triggered by a grant
+                // change (a completion cascading into `kill_query`) must
+                // re-mark their partitions for the pending re-run.
+                self.dirty.clear();
+                self.diffs.clear();
+                for &(id, new) in &self.policy_grants {
+                    let slot = self.live.slot_of(id).expect("granted query is live");
+                    let old = self.live.slot_ref(slot).granted;
+                    if new != old {
+                        self.diffs.push((id, old, new));
+                    }
+                }
+                self.diffs
+                    .sort_unstable_by_key(|&(id, old, new)| (new > old, new, id));
+                for i in 0..self.diffs.len() {
+                    let (id, _, new) = self.diffs[i];
+                    self.apply_grant(now, id, new);
+                }
+                self.update_mpl(now);
+                if !self.realloc_pending {
+                    break;
+                }
+                continue;
+            }
             self.snapshot.now = now;
             // The policy budgets against the *effective* memory: an active
             // memory shock shrinks the ceiling without touching the config.
@@ -990,7 +1075,26 @@ impl Simulator {
             q.run.clear();
         }
         q.op.set_allocation(new);
+        let old = q.granted;
         q.granted = new;
+        // Holder/page counters ride the diff (see `update_mpl`): exact
+        // integer deltas, so the readings match the seed's full scan
+        // bit-for-bit.
+        if !self.tenants.is_empty() {
+            let last = self.tenants.len() - 1;
+            let t = &mut self.tenants[(q.tenant as usize).min(last)];
+            t.cur_pages = t.cur_pages + u64::from(new) - u64::from(old);
+            if old == 0 && new > 0 {
+                t.cur_holders += 1;
+            } else if old > 0 && new == 0 {
+                t.cur_holders -= 1;
+            }
+        }
+        if old == 0 && new > 0 {
+            self.holders += 1;
+        } else if old > 0 && new == 0 {
+            self.holders -= 1;
+        }
         let mut admitted_wait = None;
         if new > 0 && q.first_admit.is_none() {
             q.first_admit = Some(now);
@@ -1016,32 +1120,59 @@ impl Simulator {
         }
     }
 
+    /// Bucket a fresh arrival's demand into its partition's group and mark
+    /// the partition dirty (incremental allocation path only).
+    fn group_insert(&mut self, slot: u32) {
+        let d = self.live.slot_ref(slot).demand();
+        let g = (d.tenant as usize).min(self.demand_groups.len() - 1);
+        if self.group_pos.len() <= slot as usize {
+            self.group_pos.resize(slot as usize + 1, 0);
+        }
+        self.group_pos[slot as usize] = self.demand_groups[g].len() as u32;
+        self.demand_groups[g].push(d);
+        self.dirty.mark(g);
+    }
+
+    /// Bookkeeping when a query leaves the live table (completion or kill):
+    /// release its holder/page counts and — on the incremental allocation
+    /// path — swap its demand out of the partition bucket, marking the
+    /// partition dirty for the next allocation event.
+    fn on_departed(&mut self, slot: u32, q: &LiveQuery) {
+        if q.granted > 0 {
+            self.holders -= 1;
+            if !self.tenants.is_empty() {
+                let last = self.tenants.len() - 1;
+                let t = &mut self.tenants[(q.tenant as usize).min(last)];
+                t.cur_pages -= u64::from(q.granted);
+                t.cur_holders -= 1;
+            }
+        }
+        if self.use_dirty {
+            let g = (q.tenant as usize).min(self.demand_groups.len() - 1);
+            let pos = self.group_pos[slot as usize] as usize;
+            self.demand_groups[g].swap_remove(pos);
+            if let Some(moved) = self.demand_groups[g].get(pos) {
+                let ms = self.live.slot_of(moved.id).expect("moved demand is live");
+                self.group_pos[ms as usize] = pos as u32;
+            }
+            self.dirty.mark(g);
+        }
+    }
+
     fn update_mpl(&mut self, now: SimTime) {
-        // One pass over the live queries either way; multi-tenant runs
-        // fold the per-tenant usage readings (MPL, pages in use, pages
-        // borrowed beyond quota) out of the same scan — every holder bills
-        // a tenant (out-of-range indices clamp), so the global MPL is the
-        // sum of the per-tenant counts.
+        // The holder/page counters are maintained incrementally on every
+        // grant diff and departure (`apply_grant`, `retire_counters`), so
+        // this costs O(tenants) instead of the seed's scan over every live
+        // query; multi-tenant runs fold the per-tenant usage readings
+        // (MPL, pages in use, pages borrowed beyond quota) out of the same
+        // counters — every holder bills a tenant (out-of-range indices
+        // clamp), so the global MPL is the sum of the per-tenant counts.
+        // All-integer deltas keep the readings bit-identical to the scan.
         let holders = if self.tenants.is_empty() {
-            self.live
-                .iter_with_slots()
-                .filter(|(_, q)| q.granted > 0)
-                .count() as f64
+            f64::from(self.holders)
         } else {
-            for t in &mut self.tenants {
-                t.cur_holders = 0;
-                t.cur_pages = 0;
-            }
-            let last = self.tenants.len() - 1;
-            for (_, q) in self.live.iter_with_slots() {
-                if q.granted > 0 {
-                    let t = &mut self.tenants[(q.tenant as usize).min(last)];
-                    t.cur_holders += 1;
-                    t.cur_pages += u64::from(q.granted);
-                }
-            }
             let mut holders = 0u32;
-            for t in &mut self.tenants {
+            for (ti, t) in self.tenants.iter_mut().enumerate() {
                 holders += t.cur_holders;
                 t.mpl.set(now, f64::from(t.cur_holders));
                 if self.tenant_feedback {
@@ -1050,6 +1181,11 @@ impl Simulator {
                 t.used.set(now, t.cur_pages as f64);
                 t.borrowed
                     .set(now, (t.cur_pages as f64 - f64::from(t.quota)).max(0.0));
+                if let Some(m) = &mut self.obs_metrics {
+                    if let Some(id) = m.tenant_mpl {
+                        m.reg.set_gauge_cell(id, ti, f64::from(t.cur_holders));
+                    }
+                }
             }
             f64::from(holders)
         };
@@ -1159,6 +1295,7 @@ impl Simulator {
                 }
                 Action::Finished => {
                     let q = self.live.remove(id).expect("finished query is live");
+                    self.on_departed(slot, &q);
                     self.complete(now, q);
                     return;
                 }
@@ -1316,9 +1453,11 @@ impl Simulator {
     /// memory-shock victims under the abort mode); either way the query
     /// departs counted as missed.
     fn kill_query(&mut self, now: SimTime, query: QueryId) {
-        let Some(q) = self.live.remove(query) else {
+        let Some(slot) = self.live.slot_of(query) else {
             return; // completed (or already killed) first
         };
+        let q = self.live.remove(query).expect("slot implies a live query");
+        self.on_departed(slot, &q);
         if let Some(handle) = q.deadline_handle {
             self.cal.cancel(handle);
         }
@@ -1549,6 +1688,16 @@ impl Simulator {
             false
         } else {
             let ti = (q.tenant as usize).min(self.tenants.len() - 1);
+            if let Some(m) = &mut self.obs_metrics {
+                if let Some(id) = m.tenant_served {
+                    m.reg.inc_cell(id, ti, 1);
+                }
+                if missed {
+                    if let Some(id) = m.tenant_missed {
+                        m.reg.inc_cell(id, ti, 1);
+                    }
+                }
+            }
             let t = &mut self.tenants[ti];
             t.served += 1;
             if missed {

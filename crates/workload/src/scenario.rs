@@ -93,6 +93,28 @@ impl Scenario {
         })
     }
 
+    /// Parameterized tenant grid for the scale experiments: `n` identical
+    /// soft-quota tenants (`t0` … `t{n-1}`, `quota_pages` each), each with
+    /// one Poisson class of `query_type` at `rate` billed to it — so a
+    /// 10³-tenant configuration is one call, not 10³ literals.
+    pub fn tenant_grid(
+        n: usize,
+        query_type: QueryType,
+        rate: f64,
+        quota_pages: u32,
+    ) -> Self {
+        let mut s = Scenario::named("tenant-grid");
+        for i in 0..n {
+            s.classes.push(
+                WorkloadClass::poisson(&format!("T{i}"), query_type, rate, (2.5, 7.5))
+                    .for_tenant(i),
+            );
+            s.tenants
+                .push(TenantSpec::soft(&format!("t{i}"), quota_pages));
+        }
+        s
+    }
+
     /// Total long-run arrival rate across classes (ignoring alternation).
     pub fn mean_rate(&self) -> f64 {
         self.classes.iter().map(WorkloadClass::mean_rate).sum()

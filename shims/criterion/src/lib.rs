@@ -3,9 +3,12 @@
 //! The build environment has no registry access, so this crate provides the
 //! exact surface the repo's benches use: [`Criterion::bench_function`],
 //! [`Criterion::benchmark_group`], [`Bencher::iter`], and the
-//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a plain
-//! wall-clock mean over a fixed number of iterations — good enough to spot
-//! order-of-magnitude regressions, with none of criterion's statistics.
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is a
+//! fixed number of timed wall-clock iterations, reported with the mean,
+//! sample standard deviation, a 90% confidence interval on the mean, and a
+//! Tukey-fence outlier count — a small slice of criterion's statistics.
+//! The report line keeps the `{name}: {mean} ns/iter ({iters} iters` prefix
+//! the CI greps pin; the statistics append after it on the same line.
 
 use std::time::Instant;
 
@@ -77,8 +80,7 @@ impl BenchmarkGroup<'_> {
 /// times the routine.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    iters: u64,
-    nanos: u128,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -86,9 +88,98 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         let out = routine();
-        self.nanos += start.elapsed().as_nanos();
-        self.iters += 1;
+        self.samples.push(start.elapsed().as_nanos() as f64);
         std::hint::black_box(out);
+    }
+}
+
+/// Iteration statistics: mean, sample standard deviation, 90% half-width
+/// on the mean, and the count of Tukey-fence outliers (beyond 1.5×IQR from
+/// the quartiles — criterion's "mild or worse" band).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Timed iterations.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean: f64,
+    /// Sample standard deviation (ns); 0 with fewer than two iterations.
+    pub stddev: f64,
+    /// 90% confidence half-width on the mean (ns); `None` with fewer than
+    /// two iterations.
+    pub ci90: Option<f64>,
+    /// Iterations outside the Tukey fences `[q1 - 1.5·iqr, q3 + 1.5·iqr]`.
+    pub outliers: u64,
+}
+
+/// Two-sided 90% Student-t quantile for `df` degrees of freedom: exact
+/// table through 30, normal-quantile correction beyond.
+fn t_quantile_90(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796,
+        1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717,
+        1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ];
+    match df {
+        0 => f64::NAN,
+        1..=30 => TABLE[df - 1],
+        _ => {
+            let z = 1.645;
+            z + (z * z * z + z) / (4.0 * df as f64)
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+}
+
+/// Compute the iteration statistics for one benchmark's samples (ns).
+pub fn analyze(samples: &[f64]) -> Stats {
+    if samples.is_empty() {
+        return Stats::default();
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return Stats {
+            iters: 1,
+            mean,
+            ..Stats::default()
+        };
+    }
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+    let stddev = var.sqrt();
+    let ci90 = t_quantile_90(samples.len() - 1) * stddev / n.sqrt();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let (q1, q3) = (quantile(&sorted, 0.25), quantile(&sorted, 0.75));
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let outliers = samples.iter().filter(|&&s| s < lo || s > hi).count() as u64;
+    Stats {
+        iters: samples.len() as u64,
+        mean,
+        stddev,
+        ci90: Some(ci90),
+        outliers,
+    }
+}
+
+/// Render the report line: the greppable `{name}: {mean} ns/iter ({iters}
+/// iters` prefix, then the appended statistics.
+fn report_line(name: &str, s: Stats) -> String {
+    let mean = s.mean.round() as u128;
+    match s.ci90 {
+        Some(hw) => format!(
+            "{name}: {mean} ns/iter ({} iters, stddev {:.0} ns, ci90 ±{:.0} ns, \
+             {} outliers)",
+            s.iters, s.stddev, hw, s.outliers
+        ),
+        None => format!("{name}: {mean} ns/iter ({} iters)", s.iters),
     }
 }
 
@@ -100,12 +191,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     for _ in 0..samples {
         f(&mut b);
     }
-    let mean = if b.iters == 0 {
-        0
-    } else {
-        b.nanos / u128::from(b.iters)
-    };
-    println!("{name}: {mean} ns/iter ({} iters)", b.iters);
+    println!("{}", report_line(name, analyze(&b.samples)));
 }
 
 /// Collect bench functions into a named group runner.
@@ -127,4 +213,46 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_computes_mean_stddev_ci_and_outliers() {
+        // Five spread samples plus one far outlier.
+        let samples = [90.0, 95.0, 100.0, 105.0, 110.0, 1_000.0];
+        let s = analyze(&samples);
+        assert_eq!(s.iters, 6);
+        assert!((s.mean - 250.0).abs() < 1e-9);
+        assert!(s.stddev > 0.0);
+        let hw = s.ci90.expect("two or more iterations give a CI");
+        // t_{0.95,5} = 2.015: half-width is t·s/√n.
+        assert!((hw - 2.015 * s.stddev / 6f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.outliers, 1, "the 1000 ns sample sits past the fence");
+        // Degenerate inputs stay well-defined.
+        assert_eq!(analyze(&[]), Stats::default());
+        let one = analyze(&[42.0]);
+        assert_eq!((one.iters, one.mean), (1, 42.0));
+        assert!(one.ci90.is_none());
+        let flat = analyze(&[5.0; 4]);
+        assert_eq!(flat.stddev, 0.0);
+        assert_eq!(flat.outliers, 0);
+    }
+
+    #[test]
+    fn report_line_keeps_the_greppable_prefix() {
+        let s = analyze(&[100.0, 110.0, 90.0]);
+        let line = report_line("opstep/join_build_probe_step_1200x6000", s);
+        // The exact prefix the CI greps assert on, stats appended after.
+        assert!(line
+            .starts_with("opstep/join_build_probe_step_1200x6000: 100 ns/iter (3 iters"));
+        assert!(line.contains("stddev"));
+        assert!(line.contains("ci90 ±"));
+        assert!(line.contains("outliers"));
+        // A single iteration falls back to the bare legacy line.
+        let single = report_line("x", analyze(&[7.0]));
+        assert_eq!(single, "x: 7 ns/iter (1 iters)");
+    }
 }

@@ -10,6 +10,7 @@
 //!    result is itself deterministic.
 
 use bench::driver::{quarantine_json, run_figure, DriverConfig};
+use bench::make_policy_for;
 use integration_tests::short_baseline;
 use pmm_core::prelude::*;
 
@@ -82,6 +83,71 @@ fn out_of_horizon_fault_plan_is_inert() {
         ),
     );
     assert_eq!(dark.windows.len(), inert.windows.len());
+}
+
+/// End-to-end equivalence of the incremental reallocation path under the
+/// storm machinery: a multi-tenant `scale` run through a mid-run memory
+/// shock and a disk outage must produce the very same report whether the
+/// engine drives the dirty-set path (`Partitioned-soft`) or the pinned
+/// full-snapshot reference (`snapshot/Partitioned-soft`). The shock is the
+/// hard case — total memory moves under the allocator, which must answer
+/// with a rebuild that is the reference algorithm verbatim.
+#[test]
+fn incremental_reallocation_survives_storms_bit_for_bit() {
+    let mut cfg = SimConfig::scale(48);
+    cfg.duration_secs = 600.0;
+    cfg.window_secs = 150.0;
+    cfg.faults = FaultPlan {
+        events: vec![
+            FaultSpec::MemoryShock {
+                start_secs: 120.0,
+                end_secs: 260.0,
+                fraction: 0.5,
+            },
+            FaultSpec::DiskOutage {
+                disk: 1,
+                start_secs: 300.0,
+                end_secs: 380.0,
+            },
+        ],
+        ..FaultPlan::default()
+    };
+    let inc = run_simulation(cfg.clone(), make_policy_for(&cfg, "Partitioned-soft"));
+    let snap = run_simulation(
+        cfg.clone(),
+        make_policy_for(&cfg, "snapshot/Partitioned-soft"),
+    );
+    assert_eq!((inc.served, inc.missed), (snap.served, snap.missed));
+    assert_eq!(inc.events, snap.events, "not one event may move");
+    for (a, b) in [
+        (inc.avg_mpl, snap.avg_mpl),
+        (inc.cpu_util, snap.cpu_util),
+        (inc.disk_util, snap.disk_util),
+        (inc.avg_fluctuations, snap.avg_fluctuations),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "aggregate drifted: {a} vs {b}");
+    }
+    assert_eq!(inc.windows.len(), snap.windows.len());
+    for (w, v) in inc.windows.iter().zip(&snap.windows) {
+        assert_eq!((w.served, w.missed), (v.served, v.missed));
+    }
+    assert_eq!(inc.tenants.len(), 48);
+    for (t, u) in inc.tenants.iter().zip(&snap.tenants) {
+        assert_eq!((t.served, t.missed), (u.served, u.missed), "{}", t.name);
+        assert_eq!(t.avg_mpl.to_bits(), u.avg_mpl.to_bits(), "{}", t.name);
+        assert_eq!(
+            t.quota_utilization.to_bits(),
+            u.quota_utilization.to_bits(),
+            "{}",
+            t.name
+        );
+        assert_eq!(
+            t.borrowed_pages.to_bits(),
+            u.borrowed_pages.to_bits(),
+            "{}",
+            t.name
+        );
+    }
 }
 
 #[test]

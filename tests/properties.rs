@@ -8,11 +8,16 @@
 
 use pmm_core::exec::{Action, ExecConfig, FileRef, HashJoin, Operator};
 use pmm_core::pmm::{max_allocate, minmax_allocate, proportional_allocate};
+use pmm_core::pmm::{
+    partitioned_allocate_with_into, DirtySet, Grants, IncrementalPartitioned,
+    PartitionScratch, PartitionSpec, PartitionStrategy,
+};
 use pmm_core::pmm::{QueryDemand, QueryId};
 use pmm_core::simkit::{Calendar, SimTime};
 use pmm_core::stats::{LinFit, QuadFit};
 use pmm_core::storage::{FileId, IoKind};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn demand_strategy() -> impl Strategy<Value = QueryDemand> {
     (0u64..64, 0u64..10_000, 1u32..200, 0u32..2_000).prop_map(|(id, dl, min, extra)| {
@@ -170,5 +175,140 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+}
+
+/// Reference applied-grant map for the equivalence property: run the
+/// full-snapshot path over the concatenated groups and record every live
+/// query's grant (absent from the output = 0 pages).
+fn snapshot_map(
+    groups: &[Vec<QueryDemand>],
+    partitions: &[PartitionSpec],
+    strategies: &[PartitionStrategy],
+    total: u32,
+) -> BTreeMap<u64, u32> {
+    let queries: Vec<QueryDemand> =
+        groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let mut scratch = PartitionScratch::default();
+    let mut out = Grants::new();
+    partitioned_allocate_with_into(
+        &queries,
+        partitions,
+        strategies,
+        total,
+        &mut scratch,
+        &mut out,
+    );
+    let mut map: BTreeMap<u64, u32> = queries.iter().map(|q| (q.id.0, 0)).collect();
+    for (id, pages) in out {
+        map.insert(id.0, pages);
+    }
+    map
+}
+
+/// SplitMix64 step — the churn script's only randomness source, so every
+/// failing case replays from the generated round seeds alone.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    // Each case replays a whole churn history against the O(P) reference,
+    // so fewer, fatter cases beat the default count.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equivalence contract: incremental dirty-set allocation
+    /// is bit-for-bit the full-snapshot division, for randomized tenant
+    /// counts, tree fan-outs, soft/hard borrow-back mixes, demand churn,
+    /// strategy flips, and mid-run memory shocks (total shrinks, which the
+    /// incremental path must answer with a full rebuild).
+    #[test]
+    fn incremental_allocation_equals_snapshot_under_churn(
+        nparts in 1usize..48,
+        group_size in 1usize..40,
+        soft_in_four in 0usize..5,
+        quota in 20u32..300,
+        rounds in proptest::collection::vec(0u64..1_000_000_000, 6..24),
+    ) {
+        let partitions: Vec<PartitionSpec> = (0..nparts)
+            .map(|i| PartitionSpec { quota, soft: i % 4 < soft_in_four })
+            .collect();
+        let mut strategies: Vec<PartitionStrategy> = (0..nparts)
+            .map(|i| match i % 3 {
+                0 => PartitionStrategy::Max,
+                1 => PartitionStrategy::MinMax(None),
+                _ => PartitionStrategy::MinMax(Some(1 + (i % 5) as u32)),
+            })
+            .collect();
+        let mut inc =
+            IncrementalPartitioned::with_group_size(partitions.clone(), group_size);
+        let mut groups: Vec<Vec<QueryDemand>> = vec![Vec::new(); nparts];
+        let mut dirty = DirtySet::new(nparts);
+        let mut out = Grants::new();
+        let mut total = (nparts as u32).saturating_mul(quota.max(60));
+        let mut inc_map: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut next_id = 0u64;
+        for (round, &seed) in rounds.iter().enumerate() {
+            let mut h = mix(seed ^ ((round as u64) << 32));
+            // Churn a handful of partitions: arrivals (more likely, so
+            // partitions accumulate contending queries), departures, edits.
+            for _ in 0..2 + h % 4 {
+                h = mix(h);
+                let t = (h % nparts as u64) as usize;
+                match (h >> 8) % 4 {
+                    0 | 3 => {
+                        groups[t].push(QueryDemand {
+                            id: QueryId(next_id),
+                            deadline: SimTime(50 + h % 900),
+                            min_mem: 4 + (h >> 16) as u32 % 40,
+                            max_mem: 50 + (h >> 24) as u32 % 400,
+                            tenant: t as u32,
+                        });
+                        next_id += 1;
+                    }
+                    1 if !groups[t].is_empty() => {
+                        let k = (h as usize >> 12) % groups[t].len();
+                        let gone = groups[t].swap_remove(k);
+                        inc_map.remove(&gone.id.0);
+                    }
+                    _ if !groups[t].is_empty() => {
+                        let k = (h as usize >> 12) % groups[t].len();
+                        let q = &mut groups[t][k];
+                        q.max_mem = q.min_mem + (h >> 20) as u32 % 500;
+                    }
+                    _ => continue,
+                }
+                dirty.mark(t);
+            }
+            // Occasional strategy flip (a dirty-set obligation).
+            if h.is_multiple_of(7) {
+                let t = ((h >> 40) % nparts as u64) as usize;
+                strategies[t] = match strategies[t] {
+                    PartitionStrategy::Max => PartitionStrategy::MinMax(None),
+                    PartitionStrategy::MinMax(_) => PartitionStrategy::Max,
+                };
+                dirty.mark(t);
+            }
+            // Occasional memory shock: the pool shrinks or recovers, which
+            // invalidates every cached borrow-back outcome at once.
+            if h.is_multiple_of(5) {
+                total = (nparts as u32).saturating_mul(30 + (h >> 33) as u32 % 150);
+                dirty.mark_all();
+            }
+            inc.allocate_dirty_into(&groups, &strategies, total, &dirty, &mut out);
+            dirty.clear();
+            for &(id, pages) in &out {
+                inc_map.insert(id.0, pages);
+            }
+            let expect = snapshot_map(&groups, &partitions, &strategies, total);
+            prop_assert_eq!(
+                &inc_map, &expect,
+                "divergence at round {} (P={}, B={}, soft {}/4)",
+                round, nparts, group_size, soft_in_four
+            );
+        }
     }
 }
